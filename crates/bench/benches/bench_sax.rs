@@ -1,0 +1,45 @@
+//! Criterion bench: SAX sliding-window discretization throughput.
+//!
+//! The paper's §4.1 efficiency claim rests on every stage being linear;
+//! doubling the input should roughly double the time here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gv_sax::{NumerosityReduction, SaxConfig};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 / 17.0).sin() + 0.3 * (i as f64 / 5.0).cos())
+        .collect()
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sax_discretize");
+    group.sample_size(20);
+    for &n in &[10_000usize, 20_000, 40_000] {
+        let values = series(n);
+        let cfg = SaxConfig::new(128, 4, 4).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("exact_nr", n), &values, |b, v| {
+            b.iter(|| cfg.discretize(v, NumerosityReduction::Exact).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_nr_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sax_numerosity_reduction");
+    group.sample_size(20);
+    let values = series(20_000);
+    let cfg = SaxConfig::new(128, 4, 4).unwrap();
+    for (name, nr) in [
+        ("none", NumerosityReduction::None),
+        ("exact", NumerosityReduction::Exact),
+        ("mindist", NumerosityReduction::MinDist),
+    ] {
+        group.bench_function(name, |b| b.iter(|| cfg.discretize(&values, nr).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discretize, bench_nr_strategies);
+criterion_main!(benches);

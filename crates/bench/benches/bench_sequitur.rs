@@ -1,0 +1,52 @@
+//! Criterion bench: Sequitur grammar induction scaling.
+//!
+//! Sequitur is linear time (Nevill-Manning & Witten); the three sizes here
+//! should scale proportionally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gv_sequitur::Sequitur;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A structured token stream: tiled motifs with occasional noise tokens —
+/// roughly what SAX emits for periodic data.
+fn tokens(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let motifs: Vec<Vec<u32>> = (0..6)
+        .map(|m| (0..5).map(|i| (m * 5 + i) as u32).collect())
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.gen_bool(0.05) {
+            out.push(rng.gen_range(100..200)); // rare token
+        } else {
+            out.extend(&motifs[rng.gen_range(0..motifs.len())]);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_induction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequitur_induce");
+    group.sample_size(20);
+    for &n in &[10_000usize, 20_000, 40_000] {
+        let input = tokens(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, inp| {
+            b.iter(|| Sequitur::induce(inp.iter().copied()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_occurrences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grammar_occurrences");
+    group.sample_size(20);
+    let grammar = Sequitur::induce(tokens(40_000, 7));
+    group.bench_function("derivation_walk_40k", |b| b.iter(|| grammar.occurrences()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_induction, bench_occurrences);
+criterion_main!(benches);

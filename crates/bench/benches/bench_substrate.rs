@@ -1,0 +1,73 @@
+//! Criterion bench: substrate components — Hilbert curve transforms, the
+//! streaming detector's per-point cost, and coverage counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gv_hilbert::{BoundingBox, TrajectoryMapper};
+use gv_timeseries::{CoverageCounter, Interval};
+use gva_core::{PipelineConfig, StreamingDetector};
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert");
+    group.sample_size(20);
+    let bb = BoundingBox {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 100.0,
+        max_y: 100.0,
+    };
+    for order in [4u32, 8, 16] {
+        let m = TrajectoryMapper::new(order, bb).unwrap();
+        let points: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 / 10_000.0;
+                (
+                    50.0 + 40.0 * (t * 37.0).sin(),
+                    50.0 + 40.0 * (t * 23.0).cos(),
+                )
+            })
+            .collect();
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(BenchmarkId::new("transform_10k", order), &points, |b, p| {
+            b.iter(|| m.transform(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_push");
+    group.sample_size(10);
+    let values: Vec<f64> = (0..20_000).map(|i| (i as f64 / 25.0).sin()).collect();
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("push_20k", |b| {
+        b.iter(|| {
+            let mut det = StreamingDetector::new(PipelineConfig::new(100, 4, 4).unwrap());
+            for &v in &values {
+                det.push(v);
+            }
+            det.num_tokens()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_counter");
+    group.sample_size(30);
+    let intervals: Vec<Interval> = (0..50_000)
+        .map(|i| Interval::with_len((i * 37) % 900_000, 100 + i % 400))
+        .collect();
+    group.bench_function("50k_intervals_over_1m_points", |b| {
+        b.iter(|| {
+            let mut cc = CoverageCounter::new(1_000_000);
+            for &iv in &intervals {
+                cc.add(iv);
+            }
+            cc.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hilbert, bench_streaming, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Regenerates **Figure 10**: the discretization-parameter robustness
+//! sweep on ECG 0606. The paper samples window ∈ \[10,500\], PAA ∈ \[3,20\],
+//! alphabet ∈ \[3,12\] and reports that the region of parameter combinations
+//! where RRA recovers the true anomaly is about *twice* the region where
+//! the rule-density curve alone does (7,100 vs 1,460 combinations on the
+//! full grid).
+//!
+//! ```text
+//! cargo run -p gv-bench --release --bin fig10_param_sweep [-- <w-stride> <p-stride> <a-stride>]
+//! ```
+//!
+//! The default strides (20, 2, 2) sample the same ranges on a coarser
+//! lattice so the sweep finishes in minutes; the *ratio* is the result.
+
+use gv_datasets::ecg::{ecg0606, EcgParams};
+use gva_core::sweep::{self, SweepGrid};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (ws, ps, alphas) = match args.as_slice() {
+        [w, p, a] => (*w, *p, *a),
+        _ => (20, 2, 2),
+    };
+    let data = ecg0606(EcgParams::default());
+    let truth = data.anomalies[0].interval;
+    let grid = SweepGrid::paper_ranges(ws, ps, alphas);
+
+    println!(
+        "Figure 10: parameter sweep on ECG 0606 — {} grid points\n\
+         (window [10,500] step {ws}, PAA [3,20] step {ps}, alphabet [3,12] step {alphas})\n",
+        grid.len()
+    );
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let points = sweep::run_parallel(data.series.values(), truth, 120, &grid, threads);
+    let (density_hits, rra_hits) = sweep::success_counts(&points);
+
+    println!("evaluated combinations : {}", points.len());
+    println!("density-curve successes: {density_hits}");
+    println!("RRA successes          : {rra_hits}");
+    let ratio = if density_hits > 0 {
+        rra_hits as f64 / density_hits as f64
+    } else {
+        f64::INFINITY
+    };
+    println!("RRA/density area ratio : {ratio:.2}");
+    println!(
+        "\npaper: 1,460 density successes vs 7,100 RRA successes on the full grid —\n\
+         the RRA success region is roughly 2x+ larger, indicating its robustness\n\
+         to discretization-parameter choice."
+    );
+
+    // Coarse scatter over the Figure 10 axes: approximation distance (x)
+    // vs grammar size (y), marked by which detector succeeded.
+    let (mut max_x, mut max_y) = (0.0f64, 0usize);
+    for p in &points {
+        max_x = max_x.max(p.approximation_distance);
+        max_y = max_y.max(p.grammar_size);
+    }
+    const W: usize = 72;
+    const H: usize = 20;
+    let mut cells = vec![vec![' '; W]; H];
+    for p in &points {
+        let x = ((p.approximation_distance / max_x.max(1e-9)) * (W as f64 - 1.0)) as usize;
+        let y = ((p.grammar_size as f64 / max_y.max(1) as f64) * (H as f64 - 1.0)) as usize;
+        let mark = match (p.density_hit, p.rra_hit) {
+            (true, true) => '#',
+            (false, true) => 'r',
+            (true, false) => 'd',
+            (false, false) => '.',
+        };
+        // Later points overwrite; priority: # > r > d > .
+        let cur = cells[H - 1 - y][x];
+        let rank = |c: char| match c {
+            '#' => 3,
+            'r' => 2,
+            'd' => 1,
+            '.' => 0,
+            _ => -1,
+        };
+        if rank(mark) > rank(cur) {
+            cells[H - 1 - y][x] = mark;
+        }
+    }
+    println!("\ngrammar size (y) vs approximation distance (x):");
+    println!("  legend: '#' both succeed, 'r' RRA only, 'd' density only, '.' both fail\n");
+    for row in cells {
+        let line: String = row.into_iter().collect();
+        println!("  |{line}|");
+    }
+    println!("  +{}+", "-".repeat(W));
+}

@@ -1,0 +1,7 @@
+//! # gv-bench
+//!
+//! Benchmark harness regenerating every table and figure of the EDBT'15
+//! paper. See the `bin/` report binaries (one per table/figure) and the
+//! Criterion benches under `benches/`.
+
+pub mod report;

@@ -1,0 +1,107 @@
+//! A tiny `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// Every option must be of the form `--key value`; a bare `--key` at
+    /// the end of the line or followed by another flag is an error.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                out.options.insert(key.to_string(), value.clone());
+            } else if out.command.is_none() {
+                out.command = Some(arg.clone());
+            } else {
+                return Err(format!("unexpected argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required numeric option.
+    pub fn required_usize(&self, key: &str) -> Result<usize, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer"))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(&argv("density --file x.csv --window 150")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("density"));
+        assert_eq!(a.required("file").unwrap(), "x.csv");
+        assert_eq!(a.required_usize("window").unwrap(), 150);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("rra --file")).is_err());
+        assert!(Args::parse(&argv("rra --file --window 10")).is_err());
+    }
+
+    #[test]
+    fn unexpected_positional_rejected() {
+        assert!(Args::parse(&argv("rra extra")).is_err());
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let a = Args::parse(&argv("x")).unwrap();
+        assert_eq!(a.usize_or("top", 3).unwrap(), 3);
+        assert!(a.required("file").is_err());
+        assert!(a.get("nothing").is_none());
+    }
+
+    #[test]
+    fn bad_integer() {
+        let a = Args::parse(&argv("x --top abc")).unwrap();
+        assert!(a.usize_or("top", 1).is_err());
+        assert!(a.required_usize("top").is_err());
+    }
+}

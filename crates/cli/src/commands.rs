@@ -1,0 +1,427 @@
+//! Subcommand implementations.
+
+use gv_discord::{hotsax_discords, HotSaxConfig};
+use gv_timeseries::{read_csv_column, Interval, TimeSeries};
+use gva_core::{viz, AnomalyPipeline, PipelineConfig};
+
+use crate::args::Args;
+
+const USAGE: &str = "\
+usage: gv <command> [options]
+
+commands:
+  density   rule-density anomaly discovery (approximate, linear time)
+  rra       Rare Rule Anomaly exact variable-length discord discovery
+  hotsax    fixed-length HOTSAX discord discovery (baseline)
+  wcad      compression-dissimilarity baseline (Keogh et al. 2004)
+  motifs    variable-length recurrent pattern discovery
+  grammar   print the induced grammar's rules
+  dot       write the grammar hierarchy as GraphViz DOT (--out FILE)
+  export    write the series and its rule-density curve as CSV
+  stream    replay a file through the online detector (early detection)
+  demo      run density + RRA on a built-in synthetic dataset
+
+common options:
+  --file PATH        single-column CSV input (for density/rra/hotsax/grammar)
+  --column N         CSV column to read (default 0)
+  --window W         sliding window length (omit: dominant-period suggestion)
+  --paa P            PAA word size (default 4)
+  --alphabet A       alphabet size (default 4)
+  --top K            how many anomalies/discords to report (default 3)
+  --width N          plot width in characters (default 100)
+  --dataset NAME     demo dataset: ecg0606 | power | video | tek14 | tek16 |
+                     tek17 | nprs43 | nprs44 | commute";
+
+/// Entry point shared with `main`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("density") => density(&args),
+        Some("rra") => rra(&args),
+        Some("hotsax") => hotsax(&args),
+        Some("wcad") => wcad(&args),
+        Some("motifs") => motifs_cmd(&args),
+        Some("grammar") => grammar(&args),
+        Some("dot") => dot(&args),
+        Some("export") => export(&args),
+        Some("stream") => stream(&args),
+        Some("demo") => demo(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn load_series(args: &Args) -> Result<TimeSeries, String> {
+    let path = args.required("file")?;
+    let col = args.usize_or("column", 0)?;
+    read_csv_column(path, col).map_err(|e| e.to_string())
+}
+
+/// `--window` if given; otherwise the autocorrelation-based suggestion
+/// (the paper's "context-driven" parameter choice, automated).
+fn window_for(args: &Args, series: &TimeSeries) -> Result<usize, String> {
+    match args.get("window") {
+        Some(w) => w
+            .parse()
+            .map_err(|_| "--window expects an integer".to_string()),
+        None => {
+            let w = gv_timeseries::suggest_window(series.values());
+            eprintln!("gv: no --window given; using dominant-period suggestion {w}");
+            Ok(w)
+        }
+    }
+}
+
+fn pipeline_for(args: &Args, series: &TimeSeries) -> Result<AnomalyPipeline, String> {
+    let window = window_for(args, series)?;
+    let paa = args.usize_or("paa", 4)?;
+    let alphabet = args.usize_or("alphabet", 4)?;
+    let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    Ok(AnomalyPipeline::new(config))
+}
+
+fn density(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let k = args.usize_or("top", 3)?;
+    let width = args.usize_or("width", 100)?;
+    let report = p
+        .density_anomalies(series.values(), k)
+        .map_err(|e| e.to_string())?;
+    println!("series: {} ({} points)", series.name(), series.len());
+    println!("signal : {}", viz::sparkline(series.values(), width));
+    println!("density: {}", viz::density_strip(&report.curve, width));
+    let intervals: Vec<Interval> = report.anomalies.iter().map(|a| a.interval).collect();
+    println!(
+        "anomaly: {}",
+        viz::marker_row(series.len(), &intervals, width)
+    );
+    println!();
+    print!("{}", viz::density_table(&report));
+    Ok(())
+}
+
+fn rra(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let k = args.usize_or("top", 3)?;
+    let width = args.usize_or("width", 100)?;
+    let report = p
+        .rra_discords(series.values(), k)
+        .map_err(|e| e.to_string())?;
+    println!("series: {} ({} points)", series.name(), series.len());
+    println!("signal : {}", viz::sparkline(series.values(), width));
+    let intervals: Vec<Interval> = report.discords.iter().map(|d| d.interval()).collect();
+    println!(
+        "discord: {}",
+        viz::marker_row(series.len(), &intervals, width)
+    );
+    println!();
+    print!("{}", viz::rra_table(&report));
+    println!(
+        "\n{} candidates, {} distance calls ({} abandoned early)",
+        report.num_candidates, report.stats.distance_calls, report.stats.early_abandoned
+    );
+    Ok(())
+}
+
+fn hotsax(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let window = args.required_usize("window")?;
+    let paa = args.usize_or("paa", 3)?;
+    let alphabet = args.usize_or("alphabet", 3)?;
+    let k = args.usize_or("top", 3)?;
+    let cfg = HotSaxConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    let (discords, stats) = hotsax_discords(series.values(), &cfg, k).map_err(|e| e.to_string())?;
+    println!("series: {} ({} points)", series.name(), series.len());
+    println!("rank  position  length  nn-distance");
+    for d in &discords {
+        println!(
+            "{:<5} {:<9} {:<7} {:.5}",
+            d.rank, d.position, d.length, d.distance
+        );
+    }
+    println!(
+        "\n{} distance calls ({} abandoned early)",
+        stats.distance_calls, stats.early_abandoned
+    );
+    Ok(())
+}
+
+fn wcad(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let window = args.required_usize("window")?;
+    let k = args.usize_or("top", 3)?;
+    let cfg = gva_core::wcad::WcadConfig::new(window);
+    let scores = gva_core::wcad::wcad_scores(series.values(), &cfg).map_err(|e| e.to_string())?;
+    println!("series: {} ({} points)", series.name(), series.len());
+    println!("rank  interval            cdm");
+    for (i, s) in scores.iter().take(k).enumerate() {
+        println!("{:<5} {:<19} {:.4}", i, s.interval.to_string(), s.cdm);
+    }
+    println!(
+        "\nnote: WCAD re-runs the compressor once per window and needs the window\n\
+         to match the anomaly length — the limitations §6 of the paper discusses."
+    );
+    Ok(())
+}
+
+fn motifs_cmd(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let k = args.usize_or("top", 5)?;
+    let model = p.model(series.values()).map_err(|e| e.to_string())?;
+    let motifs = gva_core::motifs(&model, k);
+    println!("series: {} ({} points)", series.name(), series.len());
+    println!("rank  rule   count  mean-len  min..max   period(sd)  first occurrences");
+    for (i, m) in motifs.iter().enumerate() {
+        let first: Vec<String> = m
+            .occurrences
+            .iter()
+            .take(3)
+            .map(|iv| iv.to_string())
+            .collect();
+        let period = m
+            .periodicity()
+            .map(|(mean, sd)| format!("{mean:.0}({sd:.0})"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<5} {:<6} {:<6} {:<9.1} {:>4}..{:<5} {:<11} {}",
+            i,
+            m.rule.to_string(),
+            m.count(),
+            m.mean_length,
+            m.min_length,
+            m.max_length,
+            period,
+            first.join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn dot(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let out = args.required("out")?;
+    let model = p.model(series.values()).map_err(|e| e.to_string())?;
+    let dot = gv_sequitur::to_dot(&model.grammar);
+    std::fs::write(out, &dot).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rules to {out} (render with `dot -Tsvg {out} -o grammar.svg`)",
+        model.grammar.num_rules()
+    );
+    Ok(())
+}
+
+fn export(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let out = args.required("out")?;
+    let report = p
+        .density_anomalies(series.values(), args.usize_or("top", 3)?)
+        .map_err(|e| e.to_string())?;
+    let density: Vec<f64> = report.curve.iter().map(|&d| d as f64).collect();
+    gv_timeseries::write_csv_columns(out, &["value", "density"], &[series.values(), &density])
+        .map_err(|e| e.to_string())?;
+    println!("wrote {} rows to {out}", series.len());
+    Ok(())
+}
+
+fn grammar(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let limit = args.usize_or("limit", 20)?;
+    let model = p.model(series.values()).map_err(|e| e.to_string())?;
+    let counts = model.grammar.occurrence_counts();
+    println!(
+        "{} tokens, {} rules, grammar size {}",
+        model.num_tokens(),
+        model.grammar.num_rules(),
+        model.grammar.grammar_size()
+    );
+    println!("rule   uses  occurrences  expansion-len");
+    for rule in model.grammar.rules().take(limit + 1) {
+        println!(
+            "{:<6} {:<5} {:<12} {}",
+            rule.id.to_string(),
+            rule.rule_uses,
+            counts.get(&rule.id).copied().unwrap_or(0),
+            model.grammar.expansion_len(rule.id)
+        );
+    }
+    Ok(())
+}
+
+fn stream(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let window = window_for(args, &series)?;
+    let paa = args.usize_or("paa", 4)?;
+    let alphabet = args.usize_or("alphabet", 4)?;
+    let threshold = args.usize_or("threshold", 0)? as i64;
+    let maturity = args.usize_or("maturity", window)?;
+    let check_every = args.usize_or("check-every", (series.len() / 20).max(100))?;
+
+    let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    let mut det = gva_core::StreamingDetector::new(config);
+    println!(
+        "streaming {} points (W={window} P={paa} A={alphabet}, \
+         alert threshold {threshold}, maturity {maturity})",
+        series.len()
+    );
+    let mut reported: Vec<Interval> = Vec::new();
+    for (i, v) in series.iter() {
+        det.push(v);
+        if (i + 1) % check_every == 0 || i + 1 == series.len() {
+            for alert in det.alerts(threshold, maturity) {
+                if !reported.iter().any(|r| r.overlaps(&alert)) {
+                    println!("  t={:<8} ALERT {} (len {})", i + 1, alert, alert.len());
+                    reported.push(alert);
+                }
+            }
+        }
+    }
+    if reported.is_empty() {
+        println!("  no alerts (threshold {threshold})");
+    } else {
+        println!("{} alert region(s) in total", reported.len());
+    }
+    Ok(())
+}
+
+fn demo(args: &Args) -> Result<(), String> {
+    let name = args.get("dataset").unwrap_or("ecg0606");
+    let (data, window, paa, alphabet) = match name {
+        "ecg0606" => (gv_datasets::ecg::ecg0606(Default::default()), 120, 4, 4),
+        "power" => (gv_datasets::power::power_demand(), 750, 6, 3),
+        "video" => (gv_datasets::video::video_gun(), 150, 5, 3),
+        "tek14" => (gv_datasets::telemetry::tek14(), 128, 4, 4),
+        "tek16" => (gv_datasets::telemetry::tek16(), 128, 4, 4),
+        "tek17" => (gv_datasets::telemetry::tek17(), 128, 4, 4),
+        "nprs43" => (gv_datasets::respiration::nprs43(), 128, 5, 4),
+        "nprs44" => (gv_datasets::respiration::nprs44(), 128, 5, 4),
+        "commute" => (gv_datasets::trajectory::daily_commute().dataset, 350, 15, 4),
+        other => return Err(format!("unknown demo dataset {other:?}")),
+    };
+    let width = args.usize_or("width", 100)?;
+    let k = args.usize_or("top", 3)?;
+    let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    let p = AnomalyPipeline::new(config);
+    let values = data.series.values();
+
+    println!(
+        "dataset: {} ({} points, W={window} P={paa} A={alphabet})",
+        data.series.name(),
+        values.len()
+    );
+    let truth: Vec<Interval> = data.anomalies.iter().map(|a| a.interval).collect();
+    println!("signal : {}", viz::sparkline(values, width));
+    println!("truth  : {}", viz::marker_row(values.len(), &truth, width));
+
+    let density = p.density_anomalies(values, k).map_err(|e| e.to_string())?;
+    println!("density: {}", viz::density_strip(&density.curve, width));
+    let d_iv: Vec<Interval> = density.anomalies.iter().map(|a| a.interval).collect();
+    println!("d-hits : {}", viz::marker_row(values.len(), &d_iv, width));
+
+    let rra = p.rra_discords(values, k).map_err(|e| e.to_string())?;
+    let r_iv: Vec<Interval> = rra.discords.iter().map(|d| d.interval()).collect();
+    println!("rra    : {}", viz::marker_row(values.len(), &r_iv, width));
+    println!();
+    println!("ground truth:");
+    for a in &data.anomalies {
+        println!("  {} — {}", a.interval, a.label);
+    }
+    println!("\ndensity anomalies:\n{}", viz::density_table(&density));
+    println!("RRA discords:\n{}", viz::rra_table(&rra));
+    println!(
+        "RRA cost: {} distance calls over {} candidates",
+        rra.stats.distance_calls, rra.num_candidates
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&argv("help")).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn demo_unknown_dataset_fails() {
+        assert!(run(&argv("demo --dataset nope")).is_err());
+    }
+
+    #[test]
+    fn demo_ecg_runs() {
+        assert!(run(&argv("demo --dataset ecg0606 --top 1 --width 60")).is_ok());
+    }
+
+    #[test]
+    fn file_commands_on_generated_csv() {
+        // Round-trip through a real CSV file.
+        let data = gv_datasets::ecg::ecg0606(Default::default());
+        let dir = std::env::temp_dir().join("gv_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ecg.csv");
+        gv_timeseries::write_csv_column(&path, &data.series).unwrap();
+        let base = format!(
+            "--file {} --window 120 --paa 4 --alphabet 4 --top 1 --width 50",
+            path.display()
+        );
+        assert!(run(&argv(&format!("density {base}"))).is_ok());
+        assert!(run(&argv(&format!("rra {base}"))).is_ok());
+        assert!(run(&argv(&format!("grammar {base}"))).is_ok());
+        assert!(run(&argv(&format!("motifs {base}"))).is_ok());
+        assert!(run(&argv(&format!(
+            "wcad --file {} --window 120",
+            path.display()
+        )))
+        .is_ok());
+        assert!(run(&argv(&format!(
+            "hotsax --file {} --window 120 --top 1",
+            path.display()
+        )))
+        .is_ok());
+        let out = dir.join("export.csv");
+        assert!(run(&argv(&format!("export {base} --out {}", out.display()))).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("value,density"));
+        assert_eq!(text.lines().count(), 2301); // header + 2300 rows
+        assert!(run(&argv(&format!(
+            "stream --file {} --window 120 --threshold 0 --maturity 200",
+            path.display()
+        )))
+        .is_ok());
+        // Auto-window path (no --window given).
+        assert!(run(&argv(&format!(
+            "density --file {} --top 1 --width 40",
+            path.display()
+        )))
+        .is_ok());
+        let dot_out = dir.join("grammar.dot");
+        assert!(run(&argv(&format!("dot {base} --out {}", dot_out.display()))).is_ok());
+        let dot_text = std::fs::read_to_string(&dot_out).unwrap();
+        assert!(dot_text.starts_with("digraph grammar {"));
+    }
+
+    #[test]
+    fn missing_file_reports_error() {
+        assert!(run(&argv("density --file /nonexistent.csv --window 10")).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `gv` — a text-mode GrammarViz: grammar-based variable-length time
+//! series anomaly discovery from the command line.
+//!
+//! ```text
+//! gv density --file data.csv --window 150 --paa 5 --alphabet 3 [--top K]
+//! gv rra     --file data.csv --window 150 --paa 5 --alphabet 3 [--top K]
+//! gv hotsax  --file data.csv --window 150 [--paa 3] [--alphabet 3] [--top K]
+//! gv grammar --file data.csv --window 150 --paa 5 --alphabet 3 [--limit N]
+//! gv demo    --dataset ecg0606|power|video|tek14|tek16|tek17|nprs43|commute
+//! ```
+//!
+//! Input files are single-column CSV (use `--column` to select another
+//! column). The `density` and `rra` subcommands replace the two anomaly
+//! panes of the GrammarViz 2.0 GUI (paper Figures 11–12).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

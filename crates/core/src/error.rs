@@ -1,0 +1,82 @@
+//! Error type for the anomaly pipeline.
+
+use std::fmt;
+
+/// Convenience alias used throughout `gva_core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the grammar-driven anomaly pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A SAX/discretization parameter was invalid.
+    Sax(String),
+    /// The series is too short for the configured window.
+    SeriesTooShort {
+        /// Configured sliding-window length.
+        window: usize,
+        /// Actual series length.
+        series_len: usize,
+    },
+    /// The grammar produced no usable anomaly candidates (e.g. the whole
+    /// series collapsed to a single token).
+    NoCandidates,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sax(msg) => write!(f, "discretization error: {msg}"),
+            Error::SeriesTooShort { window, series_len } => write!(
+                f,
+                "series of length {series_len} is too short for window {window}"
+            ),
+            Error::NoCandidates => {
+                write!(
+                    f,
+                    "the grammar yielded no anomaly candidates (series too regular \
+                           or parameters too coarse)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<gv_sax::Error> for Error {
+    fn from(e: gv_sax::Error) -> Self {
+        match e {
+            gv_sax::Error::Window { window, series_len } => {
+                Error::SeriesTooShort { window, series_len }
+            }
+            other => Error::Sax(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: Error = gv_sax::Error::Window {
+            window: 10,
+            series_len: 5,
+        }
+        .into();
+        assert_eq!(
+            e,
+            Error::SeriesTooShort {
+                window: 10,
+                series_len: 5
+            }
+        );
+        assert!(e.to_string().contains("too short"));
+        let s: Error = gv_sax::Error::AlphabetSize(1).into();
+        assert!(matches!(s, Error::Sax(_)));
+        assert!(Error::NoCandidates
+            .to_string()
+            .contains("no anomaly candidates"));
+    }
+}

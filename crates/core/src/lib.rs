@@ -1,0 +1,67 @@
+//! # gv-core (`gva_core`)
+//!
+//! The EDBT'15 paper's contribution: grammar-driven, variable-length time
+//! series anomaly discovery.
+//!
+//! The pipeline (paper §3–4):
+//!
+//! 1. **Discretize** the series with sliding-window SAX + numerosity
+//!    reduction (`gv-sax`), keeping each word's offset;
+//! 2. **Induce** a context-free grammar over the word stream with Sequitur
+//!    (`gv-sequitur`); rules map back to variable-length raw subsequences
+//!    through the saved offsets ([`GrammarModel`]);
+//! 3. Detect anomalies two ways:
+//!    * [`RuleDensity`] (§4.1) — count rule occurrences spanning each
+//!      point; minima are algorithmically incompressible → anomalous.
+//!      Linear time/space, no distance computation at all.
+//!    * [`rra`] (§4.2) — the **Rare Rule Anomaly** algorithm: an exact,
+//!      HOTSAX-style discord search over the grammar's rule intervals,
+//!      outer loop ordered by ascending rule frequency, inner loop visiting
+//!      same-rule siblings first, distances length-normalized (Eq. 1).
+//!
+//! Companion modules extend the paper: [`mod@motifs`] (the inverse problem —
+//! recurrent variable-length patterns), [`StreamingDetector`] (the §7
+//! future-work online mode), [`sweep`] (the Figure 10 parameter-robustness
+//! study, with a parallel runner), [`prune`] (GrammarViz 2.0 rule
+//! pruning), [`wcad`] (the §6 compression-dissimilarity baseline),
+//! [`evaluation`] (precision/recall against labelled ground truth), and
+//! [`viz`] (text-mode rendering of the GUI panes).
+//!
+//! ```
+//! use gva_core::{AnomalyPipeline, PipelineConfig};
+//!
+//! // A sine with a planted distortion.
+//! let mut values: Vec<f64> = (0..2000).map(|i| (i as f64 / 20.0).sin()).collect();
+//! for (i, v) in values[1000..1060].iter_mut().enumerate() { *v = (i as f64 / 4.0).sin() * 0.3; }
+//!
+//! let pipeline = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+//! let density = pipeline.density_anomalies(&values, 1).unwrap();
+//! assert!(!density.anomalies.is_empty());
+//! let rra = pipeline.rra_discords(&values, 1).unwrap();
+//! assert!(!rra.discords.is_empty());
+//! ```
+
+mod config;
+mod density;
+mod error;
+pub mod evaluation;
+mod intervals;
+mod model;
+pub mod motifs;
+mod pipeline;
+pub mod prune;
+pub mod rra;
+mod streaming;
+pub mod sweep;
+pub mod viz;
+pub mod wcad;
+
+pub use config::PipelineConfig;
+pub use density::{DensityAnomaly, DensityReport, RuleDensity};
+pub use error::{Error, Result};
+pub use intervals::{rule_intervals, RuleInterval};
+pub use model::GrammarModel;
+pub use motifs::{motifs, Motif};
+pub use pipeline::AnomalyPipeline;
+pub use rra::{nn_distance_profile, RraReport, SearchOptions};
+pub use streaming::StreamingDetector;

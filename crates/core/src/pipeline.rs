@@ -1,0 +1,144 @@
+//! The end-to-end pipeline facade.
+
+use gv_sax::SaxDictionary;
+use gv_sequitur::Sequitur;
+
+use crate::config::PipelineConfig;
+use crate::density::{DensityReport, RuleDensity};
+use crate::error::Result;
+use crate::model::GrammarModel;
+use crate::rra::{self, RraReport};
+
+/// The grammar-driven anomaly pipeline: discretize → induce → detect.
+///
+/// One pipeline instance is reusable across series; each call re-runs the
+/// full SAX → Sequitur stack (both stages are linear, §4.1).
+#[derive(Debug, Clone)]
+pub struct AnomalyPipeline {
+    config: PipelineConfig,
+}
+
+impl AnomalyPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs discretization and grammar induction, producing the
+    /// [`GrammarModel`] both detectors consume.
+    ///
+    /// # Errors
+    /// Discretization errors (window too long, etc.).
+    pub fn model(&self, values: &[f64]) -> Result<GrammarModel> {
+        let records = self
+            .config
+            .sax()
+            .discretize(values, self.config.numerosity_reduction())?;
+        let mut dictionary = SaxDictionary::new();
+        let mut seq = Sequitur::new();
+        for rec in &records {
+            seq.push(dictionary.intern(&rec.word));
+        }
+        let grammar = seq.finish();
+        Ok(GrammarModel {
+            grammar,
+            records,
+            dictionary,
+            series_len: values.len(),
+            window: self.config.window(),
+        })
+    }
+
+    /// Runs the rule-density detector (§4.1): builds the density curve and
+    /// reports up to `k` ranked minima intervals. Boundary minima entirely
+    /// inside the first/last window are treated as discretization
+    /// artifacts and skipped (see [`RuleDensity::report_trimmed`]).
+    ///
+    /// # Errors
+    /// Discretization errors.
+    pub fn density_anomalies(&self, values: &[f64], k: usize) -> Result<DensityReport> {
+        let model = self.model(values)?;
+        Ok(RuleDensity::from_model(&model).report_trimmed(k, self.config.window()))
+    }
+
+    /// Runs the RRA detector (§4.2): returns up to `k` ranked
+    /// variable-length discords plus the search cost.
+    ///
+    /// # Errors
+    /// Discretization errors; [`crate::Error::NoCandidates`] when the
+    /// grammar yields no usable candidate intervals.
+    pub fn rra_discords(&self, values: &[f64], k: usize) -> Result<RraReport> {
+        let model = self.model(values)?;
+        rra::discords(values, &model, k, self.config.seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn planted_series() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..3000).map(|i| (i as f64 / 25.0).sin()).collect();
+        for (i, x) in v[1500..1600].iter_mut().enumerate() {
+            *x = 0.3 * (i as f64 / 6.0).cos();
+        }
+        v
+    }
+
+    #[test]
+    fn model_has_consistent_tokens() {
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        let m = p.model(&planted_series()).unwrap();
+        assert!(m.num_tokens() > 10);
+        assert_eq!(m.grammar.input_len(), m.num_tokens());
+        assert_eq!(m.window, 100);
+        assert_eq!(m.series_len, 3000);
+        // Token stream round-trips through the dictionary.
+        let tokens = m.grammar.expand_rule(m.grammar.r0_id());
+        for (tok, rec) in tokens.iter().zip(&m.records) {
+            assert_eq!(m.dictionary.word_of(*tok).unwrap(), &rec.word);
+        }
+    }
+
+    #[test]
+    fn density_finds_planted_anomaly() {
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        let report = p.density_anomalies(&planted_series(), 1).unwrap();
+        assert_eq!(report.curve.len(), 3000);
+        let a = &report.anomalies[0];
+        // The planted distortion at 1500..1600 should be inside/near the
+        // reported minimum (within a window of slack).
+        assert!(
+            a.interval.start < 1700 && a.interval.end > 1400,
+            "reported {} misses the plant",
+            a.interval
+        );
+    }
+
+    #[test]
+    fn rra_finds_planted_anomaly() {
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        let report = p.rra_discords(&planted_series(), 2).unwrap();
+        assert!(!report.discords.is_empty());
+        let d = &report.discords[0];
+        assert!(
+            d.position < 1700 && d.position + d.length > 1400,
+            "top discord at {}..{} misses the plant",
+            d.position,
+            d.position + d.length
+        );
+        assert!(report.stats.distance_calls > 0);
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        assert!(p.model(&[0.0; 50]).is_err());
+    }
+}

@@ -1,0 +1,521 @@
+//! RRA — the Rare Rule Anomaly algorithm (paper §4.2, Algorithm 1).
+//!
+//! An exact variable-length discord search over the grammar's rule
+//! intervals. The grammar supplies both the candidate set and the two
+//! orderings that make the HOTSAX-style pruning effective:
+//!
+//! * **Outer** — candidates in ascending rule-usage frequency (uncovered
+//!   runs have frequency 0 and go first): rare rules are likely anomalous,
+//!   so `best_so_far` grows early;
+//! * **Inner** — same-rule sibling subsequences first (they are likely
+//!   near-identical, driving `nearest` below `best_so_far` fast), then the
+//!   rest in random order.
+//!
+//! Because candidates vary in length, distances use the paper's Eq. (1):
+//! Euclidean between z-normalized subsequences, the match linearly
+//! resampled onto the candidate's length, normalized by that length.
+
+use std::collections::HashMap;
+
+use gv_discord::{DiscordRecord, DistanceMeter, SearchStats};
+use gv_sequitur::RuleId;
+use gv_timeseries::{resample_to, znorm, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{Error, Result};
+use crate::intervals::{rule_intervals, RuleInterval};
+use crate::model::GrammarModel;
+
+/// The RRA output: ranked variable-length discords plus the search cost.
+#[derive(Debug, Clone)]
+pub struct RraReport {
+    /// Discords, best (largest normalized NN distance) first.
+    pub discords: Vec<DiscordRecord>,
+    /// Distance-call accounting (the Table 1 metric).
+    pub stats: SearchStats,
+    /// How many candidate intervals the grammar supplied.
+    pub num_candidates: usize,
+}
+
+/// Runs RRA on a series given its grammar model.
+///
+/// Frequency-0 candidates touching the series boundary are dropped before
+/// the search: the first and last token runs routinely fall outside every
+/// rule simply because the pattern dictionary is still warming up (or the
+/// series stops mid-pattern), and their large nearest-neighbour distances
+/// would otherwise shadow genuine interior anomalies. Use
+/// [`discords_from_intervals`] with [`rule_intervals`] to search the raw,
+/// unfiltered candidate set.
+///
+/// # Errors
+/// [`Error::NoCandidates`] when the grammar yields fewer than two
+/// candidate intervals (nothing to compare).
+pub fn discords(values: &[f64], model: &GrammarModel, k: usize, seed: u64) -> Result<RraReport> {
+    let mut candidates = rule_intervals(model);
+    let len = model.series_len;
+    candidates.retain(|c| c.rule.is_some() || (c.interval.start > 0 && c.interval.end < len));
+    discords_from_intervals(values, &candidates, k, seed)
+}
+
+/// Ablation switches for the Algorithm 1 search. The defaults are the
+/// paper's algorithm; turning pieces off quantifies what each grammar-
+/// derived heuristic buys (see the `ablation_rra` bench binary).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Order the outer loop by ascending rule frequency (`false`: random).
+    pub outer_by_frequency: bool,
+    /// Visit same-rule siblings first in the inner loop (`false`: one
+    /// random order for everything).
+    pub siblings_first: bool,
+    /// Abandon distance computations early against the current nearest.
+    pub early_abandon: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            outer_by_frequency: true,
+            siblings_first: true,
+            early_abandon: true,
+        }
+    }
+}
+
+/// Runs the Algorithm 1 search over an explicit candidate list (exposed
+/// separately for tests and for callers that pre-filter candidates).
+///
+/// # Errors
+/// [`Error::NoCandidates`] when fewer than two candidates are supplied.
+pub fn discords_from_intervals(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    k: usize,
+    seed: u64,
+) -> Result<RraReport> {
+    discords_with_options(values, candidates, k, seed, SearchOptions::default())
+}
+
+/// [`discords_from_intervals`] with explicit [`SearchOptions`]. The result
+/// set is identical for every option combination (the heuristics only
+/// reorder and prune); the *cost* differs.
+///
+/// # Errors
+/// [`Error::NoCandidates`] when fewer than two candidates are supplied.
+pub fn discords_with_options(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    k: usize,
+    seed: u64,
+    options: SearchOptions,
+) -> Result<RraReport> {
+    if candidates.len() < 2 {
+        return Err(Error::NoCandidates);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = candidates.len();
+
+    // Outer: ascending frequency, random within ties.
+    let mut outer: Vec<usize> = (0..n).collect();
+    outer.shuffle(&mut rng);
+    if options.outer_by_frequency {
+        outer.sort_by_key(|&i| candidates[i].frequency);
+    }
+
+    // Sibling lists per rule.
+    let mut siblings: HashMap<RuleId, Vec<usize>> = HashMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        if let Some(r) = c.rule {
+            siblings.entry(r).or_default().push(i);
+        }
+    }
+
+    // Shared random order for the "rest" phase of the inner loop.
+    let mut inner: Vec<usize> = (0..n).collect();
+    inner.shuffle(&mut rng);
+
+    let mut meter = DistanceMeter::new();
+    let mut stats = SearchStats::default();
+    let mut found: Vec<DiscordRecord> = Vec::new();
+
+    // Reusable buffers; lengths vary per candidate.
+    let mut buf_q = Vec::new();
+    let mut buf_q_rs = Vec::new();
+
+    for rank in 0..k {
+        let mut best_dist = -1.0f64;
+        let mut best: Option<&RuleInterval> = None;
+
+        for &pi in &outer {
+            let p = &candidates[pi];
+            if found.iter().any(|d| d.interval().overlaps(&p.interval)) {
+                continue;
+            }
+            let p_len = p.interval.len();
+            if p_len == 0 {
+                continue;
+            }
+            // Tandem-repeat guard: a rule candidate whose every same-rule
+            // sibling is a self-match (the rule's occurrences are adjacent
+            // repeats of each other) demonstrably recurs — the grammar
+            // compressed it — so it is not algorithmically random. The
+            // non-self constraint would orphan it onto unrelated matches
+            // and inflate its NN distance; skip it as an outer candidate
+            // (it still serves as an inner match for others).
+            if let Some(r) = p.rule {
+                let has_admissible_sibling = siblings[&r]
+                    .iter()
+                    .any(|&qi| qi != pi && admissible(p, &candidates[qi]));
+                if !has_admissible_sibling {
+                    continue;
+                }
+            }
+            let p_z = znorm(
+                &values[p.interval.start..p.interval.end],
+                DEFAULT_ZNORM_THRESHOLD,
+            );
+
+            let mut nearest = f64::INFINITY;
+            let mut pruned = false;
+
+            // Inner phase 1: same-rule siblings.
+            if options.siblings_first {
+                if let Some(r) = p.rule {
+                    for &qi in &siblings[&r] {
+                        if qi == pi {
+                            continue;
+                        }
+                        let q = &candidates[qi];
+                        if !admissible(p, q) {
+                            continue;
+                        }
+                        evaluate(
+                            values,
+                            &p_z,
+                            q,
+                            &mut buf_q,
+                            &mut buf_q_rs,
+                            &mut meter,
+                            &mut nearest,
+                            options.early_abandon,
+                        );
+                        if nearest < best_dist {
+                            pruned = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Inner phase 2: everything else, in random order.
+            if !pruned {
+                for &qi in &inner {
+                    if qi == pi {
+                        continue;
+                    }
+                    let q = &candidates[qi];
+                    // Skip phase-1 siblings (when phase 1 ran).
+                    if options.siblings_first && p.rule.is_some() && q.rule == p.rule {
+                        continue;
+                    }
+                    if !admissible(p, q) {
+                        continue;
+                    }
+                    evaluate(
+                        values,
+                        &p_z,
+                        q,
+                        &mut buf_q,
+                        &mut buf_q_rs,
+                        &mut meter,
+                        &mut nearest,
+                        options.early_abandon,
+                    );
+                    if nearest < best_dist {
+                        pruned = true;
+                        break;
+                    }
+                }
+            }
+
+            if pruned {
+                stats.candidates_pruned += 1;
+                continue;
+            }
+            stats.candidates_completed += 1;
+            if nearest.is_finite() && nearest > best_dist {
+                best_dist = nearest;
+                best = Some(p);
+            }
+        }
+
+        match best {
+            Some(p) => found.push(DiscordRecord {
+                position: p.interval.start,
+                length: p.interval.len(),
+                distance: best_dist,
+                rank,
+            }),
+            None => break,
+        }
+    }
+
+    stats.distance_calls = meter.calls();
+    stats.early_abandoned = meter.abandoned();
+    Ok(RraReport {
+        discords: found,
+        stats,
+        num_candidates: n,
+    })
+}
+
+/// Algorithm 1 line 7: `q` is a non-self match of `p` when their start
+/// offsets differ by at least `p`'s length.
+fn admissible(p: &RuleInterval, q: &RuleInterval) -> bool {
+    p.interval.start.abs_diff(q.interval.start) >= p.interval.len()
+}
+
+/// One inner-loop distance evaluation: z-normalize `q`, resample it onto
+/// `p`'s length, take the Eq. (1) distance with early abandoning against
+/// the current `nearest`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    values: &[f64],
+    p_z: &[f64],
+    q: &RuleInterval,
+    buf_q: &mut Vec<f64>,
+    buf_q_rs: &mut Vec<f64>,
+    meter: &mut DistanceMeter,
+    nearest: &mut f64,
+    early_abandon: bool,
+) {
+    let q_raw = &values[q.interval.start..q.interval.end];
+    if q_raw.is_empty() {
+        return;
+    }
+    buf_q.resize(q_raw.len(), 0.0);
+    znorm_into(q_raw, DEFAULT_ZNORM_THRESHOLD, buf_q);
+    buf_q_rs.resize(p_z.len(), 0.0);
+    resample_to(buf_q, buf_q_rs);
+    let abandon_at = if early_abandon {
+        *nearest
+    } else {
+        f64::INFINITY
+    };
+    if let Some(d) = meter.normalized_euclidean_early(p_z, buf_q_rs, abandon_at) {
+        if d < *nearest {
+            *nearest = d;
+        }
+    }
+}
+
+/// Exact nearest-non-self-match distance for *every* candidate — the
+/// vertical-line profiles in the bottom panels of Figures 2, 3 and 7.
+/// Quadratic in the candidate count; intended for figure-sized inputs.
+pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(Interval, f64)> {
+    let mut meter = DistanceMeter::new();
+    let mut buf_q = Vec::new();
+    let mut buf_q_rs = Vec::new();
+    let mut out = Vec::with_capacity(candidates.len());
+    for (pi, p) in candidates.iter().enumerate() {
+        if p.interval.is_empty() {
+            continue;
+        }
+        let p_z = znorm(
+            &values[p.interval.start..p.interval.end],
+            DEFAULT_ZNORM_THRESHOLD,
+        );
+        let mut nearest = f64::INFINITY;
+        for (qi, q) in candidates.iter().enumerate() {
+            if qi == pi || !admissible(p, q) {
+                continue;
+            }
+            evaluate(
+                values,
+                &p_z,
+                q,
+                &mut buf_q,
+                &mut buf_q_rs,
+                &mut meter,
+                &mut nearest,
+                true,
+            );
+        }
+        if nearest.is_finite() {
+            out.push((p.interval, nearest));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::AnomalyPipeline;
+
+    fn candidates_from(values: &[f64], w: usize, p: usize, a: usize) -> Vec<RuleInterval> {
+        let model = AnomalyPipeline::new(PipelineConfig::new(w, p, a).unwrap())
+            .model(values)
+            .unwrap();
+        rule_intervals(&model)
+    }
+
+    fn planted() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..2400).map(|i| (i as f64 / 20.0).sin()).collect();
+        for (i, x) in v[1200..1280].iter_mut().enumerate() {
+            *x = 0.25 * (i as f64 / 5.0).cos();
+        }
+        v
+    }
+
+    #[test]
+    fn too_few_candidates_is_an_error() {
+        let c: Vec<RuleInterval> = vec![];
+        assert!(matches!(
+            discords_from_intervals(&[0.0; 10], &c, 1, 0),
+            Err(Error::NoCandidates)
+        ));
+    }
+
+    #[test]
+    fn finds_the_planted_discord() {
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let report = discords_from_intervals(&v, &cands, 1, 0).unwrap();
+        assert_eq!(report.discords.len(), 1);
+        let d = &report.discords[0];
+        assert!(
+            d.interval().overlaps(&Interval::new(1150, 1330)),
+            "discord {} misses plant",
+            d.interval()
+        );
+        assert_eq!(report.num_candidates, cands.len());
+    }
+
+    #[test]
+    fn discord_is_exact_nearest_neighbor_maximum() {
+        // The reported discord must have the maximal NN distance among all
+        // candidates, as computed by the exhaustive profile.
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let report = discords_from_intervals(&v, &cands, 1, 42).unwrap();
+        let d = &report.discords[0];
+        let profile = nn_distance_profile(&v, &cands);
+        let max = profile
+            .iter()
+            .map(|(_, nn)| *nn)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (d.distance - max).abs() < 1e-9,
+            "reported {} vs exhaustive max {max}",
+            d.distance
+        );
+    }
+
+    #[test]
+    fn seed_does_not_change_the_result() {
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let a = discords_from_intervals(&v, &cands, 1, 1).unwrap();
+        let b = discords_from_intervals(&v, &cands, 1, 999).unwrap();
+        assert_eq!(a.discords[0].position, b.discords[0].position);
+        assert!((a.discords[0].distance - b.discords[0].distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_discords_disjoint_and_ordered() {
+        let mut v = planted();
+        for (i, x) in v[400..460].iter_mut().enumerate() {
+            *x += 0.8 * (std::f64::consts::PI * i as f64 / 60.0).sin();
+        }
+        let cands = candidates_from(&v, 100, 5, 4);
+        let report = discords_from_intervals(&v, &cands, 3, 0).unwrap();
+        assert!(report.discords.len() >= 2);
+        for w in report.discords.windows(2) {
+            assert!(w[0].distance >= w[1].distance);
+            assert!(!w[0].interval().overlaps(&w[1].interval()));
+        }
+        for (i, d) in report.discords.iter().enumerate() {
+            assert_eq!(d.rank, i);
+        }
+    }
+
+    #[test]
+    fn discord_lengths_vary() {
+        // Variable-length output is the point of RRA: candidate lengths in
+        // the report should not all equal the window.
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let lens: std::collections::HashSet<usize> =
+            cands.iter().map(|c| c.interval.len()).collect();
+        assert!(lens.len() > 3, "only lengths {lens:?}");
+    }
+
+    #[test]
+    fn options_change_cost_not_result() {
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let full = discords_from_intervals(&v, &cands, 1, 3).unwrap();
+        for options in [
+            SearchOptions {
+                outer_by_frequency: false,
+                ..Default::default()
+            },
+            SearchOptions {
+                siblings_first: false,
+                ..Default::default()
+            },
+            SearchOptions {
+                early_abandon: false,
+                ..Default::default()
+            },
+            SearchOptions {
+                outer_by_frequency: false,
+                siblings_first: false,
+                early_abandon: false,
+            },
+        ] {
+            let r = discords_with_options(&v, &cands, 1, 3, options).unwrap();
+            assert_eq!(
+                r.discords[0].position, full.discords[0].position,
+                "{options:?}"
+            );
+            assert!(
+                (r.discords[0].distance - full.discords[0].distance).abs() < 1e-9,
+                "{options:?}"
+            );
+        }
+        // The full heuristics must not be more expensive than the fully
+        // ablated search.
+        let naive = discords_with_options(
+            &v,
+            &cands,
+            1,
+            3,
+            SearchOptions {
+                outer_by_frequency: false,
+                siblings_first: false,
+                early_abandon: false,
+            },
+        )
+        .unwrap();
+        assert!(full.stats.distance_calls <= naive.stats.distance_calls);
+    }
+
+    #[test]
+    fn profile_is_symmetric_in_scale() {
+        // Scaling the whole series must not change z-normalized distances.
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let scaled: Vec<f64> = v.iter().map(|x| x * 100.0 + 5.0).collect();
+        let p1 = nn_distance_profile(&v, &cands);
+        let p2 = nn_distance_profile(&scaled, &cands);
+        assert_eq!(p1.len(), p2.len());
+        for ((i1, d1), (i2, d2)) in p1.iter().zip(&p2) {
+            assert_eq!(i1, i2);
+            assert!((d1 - d2).abs() < 1e-9);
+        }
+    }
+}

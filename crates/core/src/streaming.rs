@@ -1,0 +1,282 @@
+//! Streaming / early anomaly detection — the paper's §7 future-work
+//! direction, made concrete.
+//!
+//! Both pipeline stages process the input left to right (SAX's sliding
+//! window and Sequitur's incremental induction), so the whole detector can
+//! run online: feed points as they arrive, and at any moment snapshot the
+//! grammar to ask *"how compressible is the data I have seen so far —
+//! and where isn't it?"*.
+//!
+//! A caveat the batch pipeline doesn't have: the most recent points are
+//! always under-covered (rules that will eventually span them haven't had
+//! a chance to form), so alerts are only raised for regions older than a
+//! configurable *maturity horizon*.
+
+use std::collections::VecDeque;
+
+use gv_sax::{NumerosityReduction, SaxDictionary, SaxRecord};
+use gv_sequitur::Sequitur;
+use gv_timeseries::{CoverageCounter, Interval};
+
+use crate::config::PipelineConfig;
+use crate::density::RuleDensity;
+use crate::error::Result;
+use crate::model::GrammarModel;
+
+/// An online grammar-based anomaly detector.
+///
+/// ```
+/// use gva_core::{PipelineConfig, StreamingDetector};
+///
+/// let config = PipelineConfig::new(50, 4, 4).unwrap();
+/// let mut det = StreamingDetector::new(config);
+/// for i in 0..2000 {
+///     let v = (i as f64 / 12.0).sin();
+///     det.push(if (900..960).contains(&i) { 0.0 } else { v });
+/// }
+/// let alerts = det.alerts(0, 100);
+/// assert!(alerts.iter().any(|iv| iv.start >= 800 && iv.end <= 1100));
+/// ```
+#[derive(Debug)]
+pub struct StreamingDetector {
+    config: PipelineConfig,
+    /// Rolling buffer holding the last `window` points.
+    buffer: VecDeque<f64>,
+    /// Total points consumed.
+    seen: usize,
+    dictionary: SaxDictionary,
+    sequitur: Sequitur,
+    /// Surviving records (post numerosity reduction), like the batch model.
+    records: Vec<SaxRecord>,
+}
+
+impl StreamingDetector {
+    /// Creates a detector; no data is required up front.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self {
+            config,
+            buffer: VecDeque::new(),
+            seen: 0,
+            dictionary: SaxDictionary::new(),
+            sequitur: Sequitur::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of points consumed so far.
+    pub fn len(&self) -> usize {
+        self.seen
+    }
+
+    /// `true` until the first point arrives.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// Number of tokens that survived numerosity reduction so far.
+    pub fn num_tokens(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Consumes one observation. Once `window` points have arrived, each
+    /// push discretizes the window *ending* at this point and feeds the
+    /// grammar (subject to numerosity reduction).
+    pub fn push(&mut self, value: f64) {
+        let window = self.config.window();
+        self.buffer.push_back(value);
+        if self.buffer.len() > window {
+            self.buffer.pop_front();
+        }
+        self.seen += 1;
+        if self.buffer.len() < window {
+            return;
+        }
+        let offset = self.seen - window;
+        // SAX the current window. `make_contiguous` is O(1) amortized here
+        // because the buffer only wraps once per capacity growth.
+        let slice: Vec<f64> = self.buffer.iter().copied().collect();
+        let word = self
+            .config
+            .sax()
+            .word(&slice)
+            .expect("window buffer is non-empty by construction");
+        let keep = match self.records.last() {
+            Some(last) => match self.config.numerosity_reduction() {
+                NumerosityReduction::None => true,
+                NumerosityReduction::Exact => last.word != word,
+                NumerosityReduction::MinDist => !gv_sax::mindist_is_zero(&last.word, &word),
+            },
+            None => true,
+        };
+        if keep {
+            self.sequitur.push(self.dictionary.intern(&word));
+            self.records.push(SaxRecord { word, offset });
+        }
+    }
+
+    /// Snapshots the current grammar model over everything seen so far.
+    ///
+    /// # Errors
+    /// Currently infallible; `Result` is kept for interface stability.
+    pub fn model(&self) -> Result<GrammarModel> {
+        Ok(GrammarModel {
+            grammar: self.sequitur.snapshot(),
+            records: self.records.clone(),
+            dictionary: self.dictionary.clone(),
+            series_len: self.seen,
+            window: self.config.window(),
+        })
+    }
+
+    /// The rule-density curve over all points seen so far.
+    pub fn density_curve(&self) -> Vec<i64> {
+        match self.model() {
+            Ok(model) => {
+                let mut cc = CoverageCounter::new(model.series_len);
+                for occ in model.grammar.occurrences() {
+                    cc.add(model.occurrence_interval(&occ));
+                }
+                cc.finish()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Early-detection alerts: maximal runs of points whose density is
+    /// `<= threshold`, restricted to the *mature* region — at least
+    /// `maturity` points older than the stream head (and past the first
+    /// window, which is under-covered for the symmetric reason).
+    pub fn alerts(&self, threshold: i64, maturity: usize) -> Vec<Interval> {
+        let curve = self.density_curve();
+        if curve.is_empty() {
+            return Vec::new();
+        }
+        let horizon = self.seen.saturating_sub(maturity.max(self.config.window()));
+        let density = RuleDensity::from_curve(curve);
+        density
+            .anomalies_below(threshold)
+            .into_iter()
+            .filter(|iv| iv.start >= self.config.window() && iv.end <= horizon)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(det: &mut StreamingDetector, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            det.push(v);
+        }
+    }
+
+    #[test]
+    fn empty_and_warmup() {
+        let det = StreamingDetector::new(PipelineConfig::new(32, 4, 4).unwrap());
+        assert!(det.is_empty());
+        assert_eq!(det.num_tokens(), 0);
+        let mut det = det;
+        feed(&mut det, (0..10).map(|i| i as f64));
+        // Below one window: no tokens yet.
+        assert_eq!(det.num_tokens(), 0);
+        assert_eq!(det.len(), 10);
+        assert!(det.alerts(0, 0).is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_batch_pipeline() {
+        let values: Vec<f64> = (0..1500).map(|i| (i as f64 / 18.0).sin()).collect();
+        let config = PipelineConfig::new(60, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config.clone());
+        feed(&mut det, values.iter().copied());
+
+        let streaming_model = det.model().unwrap();
+        let batch_model = crate::pipeline::AnomalyPipeline::new(config)
+            .model(&values)
+            .unwrap();
+        // Identical token streams and offsets.
+        assert_eq!(streaming_model.records, batch_model.records);
+        // Identical density curves.
+        assert_eq!(
+            det.density_curve(),
+            RuleDensity::from_model(&batch_model).curve().to_vec()
+        );
+    }
+
+    #[test]
+    fn detects_planted_anomaly_online() {
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config);
+        for i in 0..2500usize {
+            let v = if (1200..1270).contains(&i) {
+                0.05 * (i as f64)
+            } else {
+                (i as f64 / 12.0).sin()
+            };
+            det.push(v);
+        }
+        let alerts = det.alerts(0, 100);
+        assert!(
+            alerts
+                .iter()
+                .any(|iv| iv.overlaps(&Interval::new(1150, 1330))),
+            "no alert near the plant: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn immature_region_not_alerted() {
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config);
+        // Regular data, then an anomaly right at the stream head.
+        for i in 0..1000usize {
+            det.push((i as f64 / 12.0).sin());
+        }
+        for i in 0..30usize {
+            det.push(5.0 + i as f64); // fresh anomaly, too young to alert
+        }
+        let alerts = det.alerts(0, 200);
+        assert!(
+            alerts.iter().all(|iv| iv.end <= 1030 - 200),
+            "immature alerts: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_alert_appears_after_maturity() {
+        let config = PipelineConfig::new(40, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config);
+        let signal = |i: usize| {
+            if (800..860).contains(&i) {
+                0.0
+            } else {
+                (i as f64 / 10.0).sin()
+            }
+        };
+        for i in 0..900usize {
+            det.push(signal(i));
+        }
+        let early = det.alerts(0, 100);
+        // Keep streaming regular data past the maturity horizon.
+        for i in 900..1400usize {
+            det.push(signal(i));
+        }
+        let later = det.alerts(0, 100);
+        let hit = |alerts: &[Interval]| {
+            alerts
+                .iter()
+                .any(|iv| iv.overlaps(&Interval::new(760, 940)))
+        };
+        assert!(
+            !hit(&early) || hit(&later),
+            "alert must not vanish as the stream grows"
+        );
+        assert!(hit(&later), "mature anomaly must be alerted: {later:?}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Text-mode visualization: sparklines, density heat strips, and report
+//! tables — the CLI/benchmark substitute for the GrammarViz 2.0 GUI
+//! panels (Figures 11–12).
+
+use gv_timeseries::Interval;
+
+use crate::density::DensityReport;
+use crate::rra::RraReport;
+
+/// Block characters from low to high.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Shades from dense (dark) to sparse (light); white space = zero density
+/// = "best potential anomaly" (Figure 12's shading convention inverted to
+/// text: the *lighter* the glyph, the more anomalous).
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Renders a series as a fixed-width sparkline (column-wise min-max
+/// downsampling, plotting the mean of each column).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let span = (hi - lo).max(1e-12);
+    columns(values, width)
+        .map(|col| {
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let idx = (((mean - lo) / span) * (BLOCKS.len() as f64 - 1.0)).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a density curve as a heat strip: dark = well-covered, blank =
+/// zero coverage (candidate anomaly), mirroring Figure 12.
+pub fn density_strip(curve: &[i64], width: usize) -> String {
+    if curve.is_empty() || width == 0 {
+        return String::new();
+    }
+    let hi = curve.iter().copied().max().unwrap_or(0).max(1) as f64;
+    columns_i64(curve, width)
+        .map(|col| {
+            let min = col.iter().copied().min().unwrap_or(0) as f64;
+            let idx = ((min / hi) * (SHADES.len() as f64 - 1.0)).round() as usize;
+            SHADES[idx.min(SHADES.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a marker row: `^` under columns intersecting any interval.
+pub fn marker_row(len: usize, intervals: &[Interval], width: usize) -> String {
+    if len == 0 || width == 0 {
+        return String::new();
+    }
+    let mut out = String::with_capacity(width);
+    for c in 0..width {
+        let start = c * len / width;
+        let end = (((c + 1) * len) / width).max(start + 1);
+        let col_iv = Interval::new(start, end.min(len));
+        let mark = intervals.iter().any(|iv| iv.overlaps(&col_iv));
+        out.push(if mark { '^' } else { ' ' });
+    }
+    out
+}
+
+/// Formats a density report in the style of the GrammarViz anomalies pane.
+pub fn density_table(report: &DensityReport) -> String {
+    let mut s =
+        String::from("rank  interval            length  min-density  mean-density  emp-p\n");
+    for (i, a) in report.anomalies.iter().enumerate() {
+        s.push_str(&format!(
+            "{:<5} {:<19} {:<7} {:<12} {:<13.2} {:.4}\n",
+            i,
+            a.interval.to_string(),
+            a.interval.len(),
+            a.min_density,
+            a.mean_density,
+            a.empirical_p
+        ));
+    }
+    s
+}
+
+/// Formats an RRA report like Figure 11's ranked-discord table
+/// (rank, position, length, NN distance).
+pub fn rra_table(report: &RraReport) -> String {
+    let mut s = String::from("rank  position  length  nn-distance\n");
+    for d in &report.discords {
+        s.push_str(&format!(
+            "{:<5} {:<9} {:<7} {:.5}\n",
+            d.rank, d.position, d.length, d.distance
+        ));
+    }
+    s
+}
+
+fn columns(values: &[f64], width: usize) -> impl Iterator<Item = &[f64]> {
+    let len = values.len();
+    (0..width.min(len)).map(move |c| {
+        let start = c * len / width.min(len);
+        let end = ((c + 1) * len / width.min(len)).max(start + 1);
+        &values[start..end.min(len)]
+    })
+}
+
+fn columns_i64(values: &[i64], width: usize) -> impl Iterator<Item = &[i64]> {
+    let len = values.len();
+    (0..width.min(len)).map(move |c| {
+        let start = c * len / width.min(len);
+        let end = ((c + 1) * len / width.min(len)).max(start + 1);
+        &values[start..end.min(len)]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{DensityAnomaly, RuleDensity};
+
+    #[test]
+    fn sparkline_basic() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], BLOCKS[0]);
+        assert_eq!(chars[3], BLOCKS[7]);
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0; 5], 0), "");
+        let s = sparkline(&[2.5; 50], 10);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn density_strip_blank_at_zero() {
+        let s = density_strip(&[5, 5, 0, 0, 5, 5], 6);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[2], ' ');
+        assert_eq!(chars[3], ' ');
+        assert_eq!(chars[0], '█');
+    }
+
+    #[test]
+    fn marker_row_marks_overlaps() {
+        let row = marker_row(100, &[Interval::new(50, 60)], 10);
+        let chars: Vec<char> = row.chars().collect();
+        assert_eq!(chars[5], '^');
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[9], ' ');
+    }
+
+    #[test]
+    fn narrow_input_wider_width() {
+        // width > len must not panic or emit more columns than points.
+        let s = sparkline(&[1.0, 2.0], 10);
+        assert_eq!(s.chars().count(), 2);
+    }
+
+    #[test]
+    fn tables_render() {
+        let report = RuleDensity::from_curve(vec![3, 0, 3]).report(1);
+        let t = density_table(&report);
+        assert!(t.contains("rank"));
+        assert!(t.contains("[1, 2)"));
+        let _ = DensityAnomaly {
+            interval: Interval::new(0, 1),
+            min_density: 0,
+            mean_density: 0.0,
+            empirical_p: 0.0,
+        };
+    }
+}

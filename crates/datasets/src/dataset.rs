@@ -1,0 +1,101 @@
+//! The labelled-dataset container.
+
+use gv_timeseries::{Interval, TimeSeries};
+
+/// One planted ground-truth anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledAnomaly {
+    /// Where the anomaly lives in the series.
+    pub interval: Interval,
+    /// A human-readable description ("premature ventricular contraction",
+    /// "holiday: Liberation Day", …).
+    pub label: String,
+}
+
+/// A generated dataset: the series plus its planted anomalies.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The generated time series (named after the paper's dataset).
+    pub series: TimeSeries,
+    /// Ground-truth anomalies, in series order.
+    pub anomalies: Vec<LabeledAnomaly>,
+}
+
+impl Dataset {
+    /// Builds a dataset, sorting anomalies by position.
+    pub fn new(series: TimeSeries, mut anomalies: Vec<LabeledAnomaly>) -> Self {
+        anomalies.sort_by_key(|a| a.interval);
+        Self { series, anomalies }
+    }
+
+    /// The first ground-truth anomaly overlapping `iv`, if any.
+    pub fn hit(&self, iv: &Interval) -> Option<&LabeledAnomaly> {
+        self.anomalies.iter().find(|a| a.interval.overlaps(iv))
+    }
+
+    /// `true` when `iv` overlaps *some* planted anomaly — the success
+    /// criterion used by the Figure 10 parameter sweep and the
+    /// integration tests.
+    pub fn is_hit(&self, iv: &Interval) -> bool {
+        self.hit(iv).is_some()
+    }
+
+    /// `true` when `iv` overlaps a planted anomaly *after widening the
+    /// truth by `slack` points on each side* — detectors that fire on the
+    /// window containing an anomaly boundary still count.
+    pub fn is_hit_with_slack(&self, iv: &Interval, slack: usize) -> bool {
+        self.anomalies.iter().any(|a| {
+            let wide = Interval::new(
+                a.interval.start.saturating_sub(slack),
+                (a.interval.end + slack).min(self.series.len()),
+            );
+            wide.overlaps(iv)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            TimeSeries::named("t", vec![0.0; 100]),
+            vec![
+                LabeledAnomaly {
+                    interval: Interval::new(60, 70),
+                    label: "b".into(),
+                },
+                LabeledAnomaly {
+                    interval: Interval::new(10, 20),
+                    label: "a".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn anomalies_sorted() {
+        let d = ds();
+        assert_eq!(d.anomalies[0].label, "a");
+        assert_eq!(d.anomalies[1].label, "b");
+    }
+
+    #[test]
+    fn hit_detection() {
+        let d = ds();
+        assert!(d.is_hit(&Interval::new(15, 16)));
+        assert_eq!(d.hit(&Interval::new(65, 80)).unwrap().label, "b");
+        assert!(!d.is_hit(&Interval::new(30, 50)));
+    }
+
+    #[test]
+    fn slack_widens_truth() {
+        let d = ds();
+        assert!(!d.is_hit(&Interval::new(22, 25)));
+        assert!(d.is_hit_with_slack(&Interval::new(22, 25), 5));
+        // Slack clamps at the series end.
+        assert!(d.is_hit_with_slack(&Interval::new(72, 75), 5));
+        assert!(!d.is_hit_with_slack(&Interval::new(80, 90), 5));
+    }
+}

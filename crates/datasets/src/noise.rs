@@ -1,0 +1,89 @@
+//! Gaussian noise without external distribution crates.
+
+use rand::Rng;
+
+/// A Box–Muller standard-normal sampler over any [`Rng`].
+///
+/// Caches the second variate of each Box–Muller pair, so consecutive draws
+/// cost one transcendental pair per two samples.
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// A fresh sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One standard-normal sample.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One `N(mean, sd²)` sample.
+    pub fn sample_with<R: Rng>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_approximately_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn scaled_sampling() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Gaussian::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample_with(&mut rng, 10.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut g = Gaussian::new();
+            (0..10).map(|_| g.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut g = Gaussian::new();
+            (0..10).map(|_| g.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Gaussian::new();
+        assert!((0..10_000).all(|_| g.sample(&mut rng).is_finite()));
+    }
+}

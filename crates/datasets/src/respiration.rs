@@ -1,0 +1,160 @@
+//! Respiration analogues (the NPRS 43/44 records of Table 1: nasal
+//! pressure respiration signals with a planted breathing irregularity).
+//!
+//! The signal is a frequency- and amplitude-modulated breathing sinusoid;
+//! the planted anomaly is an apnea-like episode — breathing amplitude
+//! collapses for a few cycles, with a slow baseline drift — followed by a
+//! recovery gasp.
+
+use gv_timeseries::{Interval, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, LabeledAnomaly};
+use crate::noise::Gaussian;
+
+/// Respiration generator parameters.
+#[derive(Debug, Clone)]
+pub struct RespirationParams {
+    /// Total samples.
+    pub len: usize,
+    /// Samples per breath cycle (~32 at 10 Hz sampling, 0.3 Hz breathing).
+    pub cycle_len: f64,
+    /// Apnea episodes as `(start_sample, length_samples)`.
+    pub apneas: Vec<(usize, usize)>,
+    /// Measurement noise sd (breathing amplitude is ~1.0).
+    pub noise_sd: f64,
+    /// Slow modulation depth of rate and amplitude (0..1).
+    pub modulation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RespirationParams {
+    fn default() -> Self {
+        Self {
+            len: 4000,
+            cycle_len: 33.0,
+            apneas: vec![(2200, 150)],
+            noise_sd: 0.03,
+            modulation: 0.12,
+            seed: 0x4E5,
+        }
+    }
+}
+
+/// Generates a respiration-like dataset.
+pub fn generate(params: RespirationParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut gauss = Gaussian::new();
+    let mut values = Vec::with_capacity(params.len);
+
+    // Random but smooth modulation phases.
+    let amp_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let rate_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+    let mut breath_phase = 0.0f64;
+    for i in 0..params.len {
+        let slow = i as f64 / params.len as f64 * std::f64::consts::TAU;
+        let amp_mod = 1.0 + params.modulation * (3.0 * slow + amp_phase).sin();
+        let rate_mod = 1.0 + params.modulation * (2.0 * slow + rate_phase).sin();
+        breath_phase += std::f64::consts::TAU / (params.cycle_len * rate_mod);
+
+        let in_apnea = params.apneas.iter().any(|&(s, l)| i >= s && i < s + l);
+        let amplitude = if in_apnea { 0.06 } else { amp_mod };
+        let v = amplitude * breath_phase.sin();
+        values.push(v + gauss.sample_with(&mut rng, 0.0, params.noise_sd));
+    }
+
+    let anomalies = params
+        .apneas
+        .iter()
+        .map(|&(s, l)| LabeledAnomaly {
+            interval: Interval::new(s.min(params.len), (s + l).min(params.len)),
+            label: "apnea episode".into(),
+        })
+        .collect();
+
+    Dataset::new(
+        TimeSeries::named("respiration (synthetic)", values),
+        anomalies,
+    )
+}
+
+/// `Respiration NPRS 43` analogue: 4,000 samples, one apnea.
+pub fn nprs43() -> Dataset {
+    let mut d = generate(RespirationParams::default());
+    d.series.set_name("Respiration NPRS 43 (synthetic)");
+    d
+}
+
+/// `Respiration NPRS 44` analogue: 24,125 samples, one apnea.
+pub fn nprs44() -> Dataset {
+    let mut d = generate(RespirationParams {
+        len: 24_125,
+        apneas: vec![(15_000, 180)],
+        seed: 0x4E6,
+        ..RespirationParams::default()
+    });
+    d.series.set_name("Respiration NPRS 44 (synthetic)");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_lengths() {
+        assert_eq!(nprs43().series.len(), 4000);
+        assert_eq!(nprs44().series.len(), 24_125);
+        assert_eq!(nprs43().anomalies.len(), 1);
+    }
+
+    #[test]
+    fn apnea_has_low_amplitude() {
+        let d = generate(RespirationParams {
+            noise_sd: 0.0,
+            ..Default::default()
+        });
+        let v = d.series.values();
+        let iv = d.anomalies[0].interval;
+        let apnea_max = v[iv.start..iv.end]
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x.abs()));
+        let normal_max = v[100..1000].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(apnea_max < 0.1, "apnea amplitude {apnea_max}");
+        assert!(normal_max > 0.8, "normal amplitude {normal_max}");
+    }
+
+    #[test]
+    fn breathing_is_oscillatory() {
+        let d = generate(RespirationParams {
+            noise_sd: 0.0,
+            apneas: vec![],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        // Zero crossings: ~2 per cycle of ~33 samples → ~240 over 4000.
+        let crossings = v
+            .windows(2)
+            .filter(|w| w[0].signum() != w[1].signum())
+            .count();
+        assert!((150..400).contains(&crossings), "{crossings} crossings");
+    }
+
+    #[test]
+    fn apnea_clamped_to_series() {
+        let d = generate(RespirationParams {
+            len: 1000,
+            apneas: vec![(950, 200)],
+            ..Default::default()
+        });
+        assert_eq!(d.anomalies[0].interval, Interval::new(950, 1000));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(nprs44().series.values(), nprs44().series.values());
+    }
+}

@@ -1,0 +1,197 @@
+//! The Table 1 experiment registry: every row of the paper's performance
+//! comparison, mapped to its synthetic dataset and the discretization
+//! parameters `(window, PAA, alphabet)` the paper prints for it.
+//!
+//! The two half-million-point MIT-BIH records (ECG 300 / ECG 318) are
+//! scaled down by default so the whole table regenerates in minutes on a
+//! laptop; the row carries both the paper's original length and ours.
+
+use crate::dataset::Dataset;
+use crate::{ecg, power, respiration, telemetry, trajectory, video};
+
+/// One Table 1 row: dataset + the paper's parameters for it.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Row label as printed in the paper.
+    pub name: &'static str,
+    /// Sliding-window length `W`.
+    pub window: usize,
+    /// PAA size `P`.
+    pub paa: usize,
+    /// Alphabet size `A`.
+    pub alphabet: usize,
+    /// Series length in the paper.
+    pub paper_len: usize,
+    /// The generated analogue.
+    pub dataset: Dataset,
+}
+
+/// Builds every Table 1 row. `scale_large` shrinks the two ~550k-point ECG
+/// records to the given length (pass `None` for full paper size — slow).
+pub fn rows(scale_large: Option<usize>) -> Vec<Table1Row> {
+    let large = scale_large.unwrap_or(536_976);
+    let large2 = scale_large.unwrap_or(586_086);
+    vec![
+        Table1Row {
+            name: "Daily commute",
+            window: 350,
+            paa: 15,
+            alphabet: 4,
+            paper_len: 17_175,
+            dataset: trajectory::daily_commute().dataset,
+        },
+        Table1Row {
+            name: "Dutch power demand",
+            window: 750,
+            paa: 6,
+            alphabet: 3,
+            paper_len: 35_040,
+            dataset: power::power_demand(),
+        },
+        Table1Row {
+            name: "ECG 0606",
+            window: 120,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 2_300,
+            dataset: ecg::ecg0606(ecg::EcgParams::default()),
+        },
+        Table1Row {
+            name: "ECG 308",
+            window: 300,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 5_400,
+            dataset: ecg::ecg_record("ECG 308 (synthetic)", 5_400, 300, 1, 0x308),
+        },
+        Table1Row {
+            name: "ECG 15",
+            window: 300,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 15_000,
+            dataset: ecg::ecg_record("ECG 15 (synthetic)", 15_000, 300, 1, 0x15),
+        },
+        Table1Row {
+            name: "ECG 108",
+            window: 300,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 21_600,
+            dataset: ecg::ecg_record("ECG 108 (synthetic)", 21_600, 300, 2, 0x108),
+        },
+        Table1Row {
+            name: "ECG 300",
+            window: 300,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 536_976,
+            dataset: ecg::ecg_record("ECG 300 (synthetic)", large, 300, 3, 0x300),
+        },
+        Table1Row {
+            name: "ECG 318",
+            window: 300,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 586_086,
+            dataset: ecg::ecg_record("ECG 318 (synthetic)", large2, 300, 3, 0x318),
+        },
+        Table1Row {
+            name: "Respiration NPRS 43",
+            window: 128,
+            paa: 5,
+            alphabet: 4,
+            paper_len: 4_000,
+            dataset: respiration::nprs43(),
+        },
+        Table1Row {
+            name: "Respiration NPRS 44",
+            window: 128,
+            paa: 5,
+            alphabet: 4,
+            paper_len: 24_125,
+            dataset: respiration::nprs44(),
+        },
+        Table1Row {
+            name: "Video dataset (gun)",
+            window: 150,
+            paa: 5,
+            alphabet: 3,
+            paper_len: 11_251,
+            dataset: video::video_gun(),
+        },
+        Table1Row {
+            name: "Shuttle telemetry TEK14",
+            window: 128,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 5_000,
+            dataset: telemetry::tek14(),
+        },
+        Table1Row {
+            name: "Shuttle telemetry TEK16",
+            window: 128,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 5_000,
+            dataset: telemetry::tek16(),
+        },
+        Table1Row {
+            name: "Shuttle telemetry TEK17",
+            window: 128,
+            paa: 4,
+            alphabet: 4,
+            paper_len: 5_000,
+            dataset: telemetry::tek17(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_rows_like_the_paper() {
+        let rows = rows(Some(40_000));
+        assert_eq!(rows.len(), 14);
+        for row in &rows {
+            assert!(
+                row.window > 0 && row.paa > 0 && row.alphabet >= 2,
+                "{}",
+                row.name
+            );
+            assert!(!row.dataset.series.is_empty(), "{}", row.name);
+            assert!(
+                !row.dataset.anomalies.is_empty(),
+                "{} has no ground truth",
+                row.name
+            );
+            // Window must fit the generated series with room for matches.
+            assert!(row.dataset.series.len() >= 2 * row.window, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn small_rows_match_paper_lengths() {
+        let rows = rows(Some(40_000));
+        for row in &rows {
+            if row.paper_len <= 36_000 && row.name != "Daily commute" {
+                assert_eq!(
+                    row.dataset.series.len(),
+                    row.paper_len,
+                    "{} length mismatch",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_applies_to_large_ecgs() {
+        let rows = rows(Some(50_000));
+        let ecg300 = rows.iter().find(|r| r.name == "ECG 300").unwrap();
+        assert_eq!(ecg300.dataset.series.len(), 50_000);
+        assert_eq!(ecg300.paper_len, 536_976);
+    }
+}

@@ -1,0 +1,286 @@
+//! Space-shuttle Marotta valve telemetry analogues (TEK14 / TEK16 / TEK17
+//! in Table 1).
+//!
+//! The original TEK series record solenoid current through repeated
+//! energize/de-energize cycles: a sharp rise, a sagging plateau, a sharp
+//! drop with a small inductive undershoot, then an off period. Each TEK
+//! variant here plants a different malfunction kind, mirroring how the
+//! three NASA records differ:
+//!
+//! * **TEK14** — a mid-plateau dropout glitch in one cycle;
+//! * **TEK16** — one weak cycle (partial energization);
+//! * **TEK17** — a noise burst / spike train during one off period.
+
+use gv_timeseries::{Interval, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, LabeledAnomaly};
+use crate::noise::Gaussian;
+
+/// Malfunction kinds for the TEK variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryAnomaly {
+    /// Momentary dropout while energized.
+    PlateauDropout,
+    /// The valve only partially energizes for one cycle.
+    WeakCycle,
+    /// A spike burst while de-energized.
+    OffSpikes,
+}
+
+/// Telemetry generator parameters.
+#[derive(Debug, Clone)]
+pub struct TelemetryParams {
+    /// Total samples (TEK rows use 5,000).
+    pub len: usize,
+    /// Samples per energize/de-energize cycle.
+    pub cycle_len: usize,
+    /// Cycle indexes to corrupt.
+    pub anomalous_cycles: Vec<(usize, TelemetryAnomaly)>,
+    /// Sensor noise sd (plateau level is ~1.0).
+    pub noise_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TelemetryParams {
+    fn default() -> Self {
+        Self {
+            len: 5000,
+            cycle_len: 500,
+            anomalous_cycles: vec![(5, TelemetryAnomaly::PlateauDropout)],
+            noise_sd: 0.002,
+            seed: 0x7E6,
+        }
+    }
+}
+
+fn smooth_step(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// One cycle sample: energized for the first half, off for the second.
+fn cycle_value(phase: f64, kind: Option<TelemetryAnomaly>) -> f64 {
+    // A partial energization is not just weaker: the armature moves
+    // sluggishly, so the current rises slowly and sags much harder (shape
+    // differences matter — a pure amplitude change would be erased by
+    // z-normalization and invisible to every shape-based detector).
+    let weak = kind == Some(TelemetryAnomaly::WeakCycle);
+    let amplitude = if weak { 0.55 } else { 1.0 };
+    let rise = if weak {
+        smooth_step((phase - 0.02) / 0.16)
+    } else {
+        smooth_step((phase - 0.02) / 0.03)
+    };
+    let fall = smooth_step((phase - 0.50) / 0.03);
+    // Sagging plateau: a downward slope while energized.
+    let sag_rate = if weak { 0.30 } else { 0.08 };
+    let sag = if (0.05..0.50).contains(&phase) {
+        sag_rate * (phase - 0.05) / 0.45
+    } else {
+        0.0
+    };
+    let mut v = amplitude * (rise - fall).max(0.0) - sag * amplitude;
+    // Solenoid current ripple while energized and a faint thermal-drift
+    // wobble while off: real telemetry is textured, never flat, and this
+    // texture is what makes SAX words stable over plateau windows (a flat
+    // plateau plus sensor noise discretizes to *random* words).
+    if (0.05..0.50).contains(&phase) {
+        v += 0.05 * (phase * 32.0 * std::f64::consts::TAU).sin();
+    } else if (0.60..0.98).contains(&phase) {
+        v += 0.02 * (phase * 18.0 * std::f64::consts::TAU).sin();
+    }
+    // Inductive undershoot right after de-energization.
+    if (0.53..0.60).contains(&phase) {
+        let t = (phase - 0.53) / 0.07;
+        v -= 0.15 * (1.0 - t) * (std::f64::consts::PI * t).sin();
+    }
+    match kind {
+        Some(TelemetryAnomaly::PlateauDropout) if (0.22..0.36).contains(&phase) => {
+            let t = (phase - 0.22) / 0.14;
+            v -= 0.8 * (std::f64::consts::PI * t).sin();
+        }
+        _ => {}
+    }
+    v
+}
+
+/// Generates a telemetry dataset.
+pub fn generate(params: TelemetryParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut gauss = Gaussian::new();
+    let mut values = Vec::with_capacity(params.len);
+    let mut anomalies = Vec::new();
+
+    let n_cycles = params.len.div_ceil(params.cycle_len);
+    for cycle in 0..n_cycles {
+        let kind = params
+            .anomalous_cycles
+            .iter()
+            .find(|(c, _)| *c == cycle)
+            .map(|&(_, k)| k);
+        let start = values.len();
+        for i in 0..params.cycle_len {
+            if values.len() >= params.len {
+                break;
+            }
+            let phase = i as f64 / params.cycle_len as f64;
+            let mut v = cycle_value(phase, kind);
+            // Spike burst during the off half.
+            if kind == Some(TelemetryAnomaly::OffSpikes)
+                && (0.65..0.85).contains(&phase)
+                && rng.gen_bool(0.3)
+            {
+                v += rng.gen_range(0.2..0.5);
+            }
+            values.push(v + gauss.sample_with(&mut rng, 0.0, params.noise_sd));
+        }
+        if let Some(k) = kind {
+            let end = values.len().min(start + params.cycle_len);
+            let c = params.cycle_len;
+            let (lo, hi, label) = match k {
+                TelemetryAnomaly::PlateauDropout => (
+                    start + c * 22 / 100,
+                    start + c * 36 / 100,
+                    "plateau dropout glitch",
+                ),
+                TelemetryAnomaly::WeakCycle => (start, end, "weak energization cycle"),
+                TelemetryAnomaly::OffSpikes => (
+                    start + c * 65 / 100,
+                    start + c * 85 / 100,
+                    "off-period spike burst",
+                ),
+            };
+            if lo < values.len() {
+                anomalies.push(LabeledAnomaly {
+                    interval: Interval::new(lo, hi.min(values.len())),
+                    label: label.into(),
+                });
+            }
+        }
+    }
+
+    Dataset::new(
+        TimeSeries::named("telemetry (synthetic)", values),
+        anomalies,
+    )
+}
+
+/// `Shuttle telemetry TEK14` analogue: plateau dropout.
+pub fn tek14() -> Dataset {
+    let mut d = generate(TelemetryParams {
+        anomalous_cycles: vec![(5, TelemetryAnomaly::PlateauDropout)],
+        seed: 0x7E14,
+        ..Default::default()
+    });
+    d.series.set_name("Shuttle telemetry TEK14 (synthetic)");
+    d
+}
+
+/// `Shuttle telemetry TEK16` analogue: weak cycle.
+pub fn tek16() -> Dataset {
+    let mut d = generate(TelemetryParams {
+        anomalous_cycles: vec![(6, TelemetryAnomaly::WeakCycle)],
+        seed: 0x7E16,
+        ..Default::default()
+    });
+    d.series.set_name("Shuttle telemetry TEK16 (synthetic)");
+    d
+}
+
+/// `Shuttle telemetry TEK17` analogue: off-period spikes.
+pub fn tek17() -> Dataset {
+    let mut d = generate(TelemetryParams {
+        anomalous_cycles: vec![(3, TelemetryAnomaly::OffSpikes)],
+        seed: 0x7E17,
+        ..Default::default()
+    });
+    d.series.set_name("Shuttle telemetry TEK17 (synthetic)");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        for (d, label_frag) in [(tek14(), "dropout"), (tek16(), "weak"), (tek17(), "spike")] {
+            assert_eq!(d.series.len(), 5000);
+            assert_eq!(d.anomalies.len(), 1, "{}", d.series.name());
+            assert!(d.anomalies[0].label.contains(label_frag));
+        }
+    }
+
+    #[test]
+    fn cycles_alternate_on_off() {
+        let d = generate(TelemetryParams {
+            noise_sd: 0.0,
+            anomalous_cycles: vec![],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        // Energized mid-plateau ~0.93+, off period ~0.
+        assert!(v[100] > 0.8, "plateau {v:.3?}", v = v[100]);
+        assert!(v[400].abs() < 0.05, "off {}", v[400]);
+        assert!(v[600] > 0.8);
+    }
+
+    #[test]
+    fn dropout_dips_below_plateau() {
+        let d = generate(TelemetryParams {
+            noise_sd: 0.0,
+            anomalous_cycles: vec![(1, TelemetryAnomaly::PlateauDropout)],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        let iv = d.anomalies[0].interval;
+        let dip = v[iv.start..iv.end]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(dip < 0.5, "dropout min {dip}");
+        // Same phase in a clean cycle stays high.
+        let clean = v[iv.start + 500..iv.end + 500]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(clean > 0.8);
+    }
+
+    #[test]
+    fn weak_cycle_peaks_lower() {
+        let d = generate(TelemetryParams {
+            noise_sd: 0.0,
+            anomalous_cycles: vec![(2, TelemetryAnomaly::WeakCycle)],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        let weak_peak = v[1000..1250]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let normal_peak = v[0..250].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(weak_peak < 0.6, "weak {weak_peak}");
+        assert!(normal_peak > 0.9, "normal {normal_peak}");
+    }
+
+    #[test]
+    fn spikes_visible_in_off_period() {
+        let d = tek17();
+        let iv = d.anomalies[0].interval;
+        let v = d.series.values();
+        let burst_max = v[iv.start..iv.end]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(burst_max > 0.15, "burst max {burst_max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tek14().series.values(), tek14().series.values());
+    }
+}

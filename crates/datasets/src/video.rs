@@ -1,0 +1,240 @@
+//! Surveillance-video analogue (the "ann_gun_CentroidA" trace of
+//! Figures 1, 11, 12 and the Table 1 row "Video dataset (gun)").
+//!
+//! The original series tracks the hand-centroid y-coordinate of an actor
+//! repeatedly drawing and holstering a gun. We model each repetition as a
+//! smooth draw → aim-hold → holster template with per-repetition timing
+//! jitter, and plant anomalous repetitions: a *fumbled holster* (the famous
+//! anomaly, the hand dips and re-raises) and an *aborted draw*.
+
+use gv_timeseries::{Interval, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, LabeledAnomaly};
+use crate::noise::Gaussian;
+
+/// Kinds of anomalous repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoAnomaly {
+    /// The actor fumbles re-holstering: an extra dip and correction at the
+    /// end of the repetition.
+    FumbledHolster,
+    /// The draw is aborted half-way: the hand returns early.
+    AbortedDraw,
+}
+
+/// Video-trace generator parameters.
+#[derive(Debug, Clone)]
+pub struct VideoParams {
+    /// Total samples (the original trace has 11,251).
+    pub len: usize,
+    /// Nominal samples per draw-aim-holster repetition.
+    pub cycle_len: usize,
+    /// Repetition indexes to corrupt.
+    pub anomalous_cycles: Vec<(usize, VideoAnomaly)>,
+    /// Tracking noise sd (hand travel is ~1.0).
+    pub noise_sd: f64,
+    /// Per-repetition timing jitter fraction.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        Self {
+            len: 11_251,
+            cycle_len: 300,
+            anomalous_cycles: vec![
+                (12, VideoAnomaly::FumbledHolster),
+                (26, VideoAnomaly::AbortedDraw),
+            ],
+            noise_sd: 0.01,
+            jitter: 0.03,
+            seed: 0x91D,
+        }
+    }
+}
+
+fn smooth_step(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Normal repetition: rest (low) → draw (rise) → aim hold (plateau) →
+/// holster (fall) → rest.
+fn normal_cycle(phase: f64) -> f64 {
+    let rise = smooth_step((phase - 0.15) / 0.15);
+    let fall = smooth_step((phase - 0.70) / 0.15);
+    0.1 + 0.8 * (rise - fall).max(0.0)
+}
+
+/// Fumbled holster: normal until the holster, then the hand hovers and
+/// searches for the holster (oscillating around half height) and only
+/// drops at the very end — the canonical "missed the holster" event of
+/// the original recording.
+fn fumbled_cycle(phase: f64) -> f64 {
+    if phase < 0.70 {
+        normal_cycle(phase)
+    } else {
+        let t = (phase - 0.70) / 0.30;
+        let hover = 0.55 + 0.25 * (t * 2.5 * std::f64::consts::TAU).sin();
+        let drop = smooth_step((t - 0.75) / 0.25);
+        0.1 + hover * (1.0 - drop)
+    }
+}
+
+/// Aborted draw: the hand rises only half-way and returns immediately.
+fn aborted_cycle(phase: f64) -> f64 {
+    let rise = smooth_step((phase - 0.15) / 0.15);
+    let fall = smooth_step((phase - 0.40) / 0.15);
+    0.1 + 0.4 * (rise - fall).max(0.0)
+}
+
+/// Generates the video-trace dataset.
+pub fn generate(params: VideoParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut gauss = Gaussian::new();
+    let mut values = Vec::with_capacity(params.len);
+    let mut anomalies = Vec::new();
+
+    let mut cycle_idx = 0usize;
+    while values.len() < params.len {
+        let jitter = 1.0 + rng.gen_range(-params.jitter..=params.jitter);
+        let this_len = ((params.cycle_len as f64) * jitter).round().max(16.0) as usize;
+        let kind = params
+            .anomalous_cycles
+            .iter()
+            .find(|(c, _)| *c == cycle_idx)
+            .map(|&(_, k)| k);
+        let start = values.len();
+        for i in 0..this_len {
+            if values.len() >= params.len {
+                break;
+            }
+            let phase = i as f64 / this_len as f64;
+            let v = match kind {
+                Some(VideoAnomaly::FumbledHolster) => fumbled_cycle(phase),
+                Some(VideoAnomaly::AbortedDraw) => aborted_cycle(phase),
+                None => normal_cycle(phase),
+            };
+            values.push(v + gauss.sample_with(&mut rng, 0.0, params.noise_sd));
+        }
+        if let Some(k) = kind {
+            let end = values.len();
+            if end > start {
+                // For the fumble, only the holster tail is anomalous.
+                let (iv, label) = match k {
+                    VideoAnomaly::FumbledHolster => (
+                        Interval::new(start + (this_len * 7) / 10, end),
+                        "fumbled holster".to_string(),
+                    ),
+                    VideoAnomaly::AbortedDraw => {
+                        (Interval::new(start, end), "aborted draw".to_string())
+                    }
+                };
+                anomalies.push(LabeledAnomaly {
+                    interval: iv,
+                    label,
+                });
+            }
+        }
+        cycle_idx += 1;
+    }
+
+    Dataset::new(
+        TimeSeries::named("Video gun-draw (synthetic)", values),
+        anomalies,
+    )
+}
+
+/// The paper-default instance: 11,251 samples with two anomalous
+/// repetitions (Figure 1 shows multiple anomalous events).
+pub fn video_gun() -> Dataset {
+    generate(VideoParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape() {
+        let d = video_gun();
+        assert_eq!(d.series.len(), 11_251);
+        assert_eq!(d.anomalies.len(), 2);
+        // Anomalies are cycle-scale events.
+        for a in &d.anomalies {
+            assert!(
+                a.interval.len() > 30 && a.interval.len() < 500,
+                "{}",
+                a.interval
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_repeat() {
+        let d = generate(VideoParams {
+            noise_sd: 0.0,
+            jitter: 0.0,
+            anomalous_cycles: vec![],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        // With zero jitter, cycle k and k+1 are identical.
+        let c = 300;
+        for i in 0..c {
+            assert!((v[i] - v[i + c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fumble_differs_from_normal_tail() {
+        let normal = generate(VideoParams {
+            noise_sd: 0.0,
+            jitter: 0.0,
+            anomalous_cycles: vec![],
+            ..Default::default()
+        });
+        let fumbled = generate(VideoParams {
+            noise_sd: 0.0,
+            jitter: 0.0,
+            anomalous_cycles: vec![(2, VideoAnomaly::FumbledHolster)],
+            ..Default::default()
+        });
+        let a = &normal.series.values()[600..900];
+        let b = &fumbled.series.values()[600..900];
+        let max_diff = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff > 0.1, "fumble indistinguishable: {max_diff}");
+        // Pre-anomaly cycles identical.
+        let a0 = &normal.series.values()[..600];
+        let b0 = &fumbled.series.values()[..600];
+        assert_eq!(a0, b0);
+    }
+
+    #[test]
+    fn aborted_draw_peaks_lower() {
+        let d = generate(VideoParams {
+            noise_sd: 0.0,
+            jitter: 0.0,
+            anomalous_cycles: vec![(1, VideoAnomaly::AbortedDraw)],
+            ..Default::default()
+        });
+        let v = d.series.values();
+        let normal_peak = v[0..300].iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        let aborted_peak = v[300..600].iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        assert!(normal_peak > 0.85);
+        assert!(aborted_peak < 0.6);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(video_gun().series.values(), video_gun().series.values());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests over the dataset generators: for arbitrary (sane)
+//! parameters, the generated data and ground truth must be well-formed.
+
+use gv_datasets::{ecg, respiration, telemetry, trajectory, video};
+use proptest::prelude::*;
+
+fn check_dataset(d: &gv_datasets::Dataset, expect_len: usize) {
+    assert_eq!(d.series.len(), expect_len);
+    assert!(d.series.values().iter().all(|v| v.is_finite()));
+    for a in &d.anomalies {
+        assert!(!a.interval.is_empty(), "{}: empty anomaly", a.label);
+        assert!(
+            a.interval.end <= d.series.len(),
+            "{}: out of bounds",
+            a.label
+        );
+        assert!(!a.label.is_empty());
+    }
+    for w in d.anomalies.windows(2) {
+        assert!(w[0].interval <= w[1].interval, "anomalies sorted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ecg_generator_well_formed(
+        len in 1000usize..6000,
+        beat_len in 100usize..400,
+        seed in 0u64..1000,
+        anomaly_beat in 1usize..5,
+    ) {
+        let d = ecg::generate(ecg::EcgParams {
+            len,
+            beat_len,
+            anomalous_beats: vec![(anomaly_beat, ecg::EcgAnomaly::PrematureVentricular)],
+            noise_sd: 0.02,
+            rr_jitter: 0.03,
+            seed,
+        });
+        check_dataset(&d, len);
+        // The planted beat may fall past the series end; at most one
+        // anomaly is labelled.
+        prop_assert!(d.anomalies.len() <= 1);
+    }
+
+    #[test]
+    fn respiration_generator_well_formed(
+        len in 1000usize..8000,
+        cycle in 20.0f64..60.0,
+        seed in 0u64..1000,
+    ) {
+        let d = respiration::generate(respiration::RespirationParams {
+            len,
+            cycle_len: cycle,
+            apneas: vec![(len / 2, 120)],
+            noise_sd: 0.03,
+            modulation: 0.12,
+            seed,
+        });
+        check_dataset(&d, len);
+        prop_assert_eq!(d.anomalies.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_generator_well_formed(
+        len in 2000usize..8000,
+        cycle_len in 200usize..800,
+        seed in 0u64..1000,
+    ) {
+        let d = telemetry::generate(telemetry::TelemetryParams {
+            len,
+            cycle_len,
+            anomalous_cycles: vec![(1, telemetry::TelemetryAnomaly::PlateauDropout)],
+            noise_sd: 0.004,
+            seed,
+        });
+        check_dataset(&d, len);
+    }
+
+    #[test]
+    fn video_generator_well_formed(
+        len in 2000usize..12000,
+        cycle_len in 150usize..400,
+        seed in 0u64..1000,
+    ) {
+        let d = video::generate(video::VideoParams {
+            len,
+            cycle_len,
+            anomalous_cycles: vec![(2, video::VideoAnomaly::AbortedDraw)],
+            noise_sd: 0.01,
+            jitter: 0.03,
+            seed,
+        });
+        check_dataset(&d, len);
+    }
+
+    #[test]
+    fn trajectory_generator_well_formed(
+        days in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let t = trajectory::generate(trajectory::TrajectoryParams {
+            days,
+            detour_day: Some(1),
+            gps_loss_day: Some(0),
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(t.points.len(), t.dataset.series.len());
+        check_dataset(&t.dataset, t.points.len());
+        prop_assert_eq!(t.dataset.anomalies.len(), 2);
+        // Hilbert indexes are within the curve's range.
+        let max = t.mapper.curve().cells() as f64;
+        prop_assert!(t.dataset.series.values().iter().all(|&v| v >= 0.0 && v < max));
+    }
+}

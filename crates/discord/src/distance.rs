@@ -1,0 +1,199 @@
+//! Counted, early-abandoning distance computation.
+//!
+//! Every entry into a distance routine — even one abandoned after a few
+//! points — increments the meter, reproducing the paper's cost metric
+//! ("number of calls to the distance function", Table 1).
+
+/// A distance-call meter with early-abandoning Euclidean kernels.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceMeter {
+    calls: u64,
+    abandoned: u64,
+}
+
+impl DistanceMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total distance-function calls so far (completed + abandoned).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// How many of those calls were abandoned early.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Resets both counters.
+    pub fn reset(&mut self) {
+        self.calls = 0;
+        self.abandoned = 0;
+    }
+
+    /// Full Euclidean distance between equal-length slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn euclidean(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+        self.calls += 1;
+        let mut sum = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x - y;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    /// Early-abandoning Euclidean distance: returns `None` as soon as the
+    /// running sum of squares proves the distance is `>= abandon_at`
+    /// (the caller's current pruning threshold). Still counts as one call.
+    ///
+    /// With `abandon_at = f64::INFINITY` this never abandons.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn euclidean_early(&mut self, a: &[f64], b: &[f64], abandon_at: f64) -> Option<f64> {
+        assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
+        self.calls += 1;
+        let limit_sq = if abandon_at.is_finite() {
+            abandon_at * abandon_at
+        } else {
+            f64::INFINITY
+        };
+        let mut sum = 0.0;
+        // Check the bound every few points: branch less in the hot loop.
+        const STRIDE: usize = 8;
+        let mut i = 0;
+        let n = a.len();
+        while i < n {
+            let hi = (i + STRIDE).min(n);
+            while i < hi {
+                let d = a[i] - b[i];
+                sum += d * d;
+                i += 1;
+            }
+            if sum >= limit_sq {
+                self.abandoned += 1;
+                return None;
+            }
+        }
+        Some(sum.sqrt())
+    }
+
+    /// Early-abandoning **length-normalized** Euclidean distance — the
+    /// paper's Eq. (1): `sqrt(Σ (p_i − q_i)²) / len(p)`, which "favors
+    /// shorter subsequences for the same distance value". Abandons (and
+    /// returns `None`) once the normalized distance provably reaches
+    /// `abandon_at`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty slices.
+    pub fn normalized_euclidean_early(
+        &mut self,
+        a: &[f64],
+        b: &[f64],
+        abandon_at: f64,
+    ) -> Option<f64> {
+        assert!(!a.is_empty(), "normalized distance of empty subsequence");
+        let len = a.len() as f64;
+        let raw_limit = if abandon_at.is_finite() {
+            abandon_at * len
+        } else {
+            f64::INFINITY
+        };
+        self.euclidean_early(a, b, raw_limit).map(|d| d / len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_euclidean() {
+        let mut m = DistanceMeter::new();
+        let d = m.euclidean(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(m.calls(), 1);
+        assert_eq!(m.abandoned(), 0);
+    }
+
+    #[test]
+    fn early_abandon_triggers_and_counts() {
+        let mut m = DistanceMeter::new();
+        let a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        b[0] = 10.0; // contributes 100 to the sum immediately
+        let r = m.euclidean_early(&a, &b, 5.0); // 5² = 25 < 100
+        assert_eq!(r, None);
+        assert_eq!(m.calls(), 1);
+        assert_eq!(m.abandoned(), 1);
+        // Full computation when the threshold is high enough.
+        let r2 = m.euclidean_early(&a, &b, 50.0);
+        assert_eq!(r2, Some(10.0));
+        assert_eq!(m.calls(), 2);
+        assert_eq!(m.abandoned(), 1);
+    }
+
+    #[test]
+    fn early_abandon_result_matches_full_when_not_abandoned() {
+        let mut m = DistanceMeter::new();
+        let a: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64).cos()).collect();
+        let full = m.euclidean(&a, &b);
+        let early = m.euclidean_early(&a, &b, f64::INFINITY).unwrap();
+        assert!((full - early).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abandon_exactly_at_threshold() {
+        let mut m = DistanceMeter::new();
+        // Distance is exactly 5.0 → abandoning at 5.0 must reject (>=).
+        assert_eq!(m.euclidean_early(&[0.0], &[5.0], 5.0), None);
+        assert!(m.euclidean_early(&[0.0], &[5.0], 5.0001).is_some());
+    }
+
+    #[test]
+    fn normalized_distance_favors_shorter() {
+        let mut m = DistanceMeter::new();
+        // Same raw distance, different lengths → shorter wins (larger value).
+        let short = m
+            .normalized_euclidean_early(&[0.0, 0.0], &[3.0, 4.0], f64::INFINITY)
+            .unwrap();
+        let long = m
+            .normalized_euclidean_early(&[0.0, 0.0, 0.0, 0.0], &[3.0, 4.0, 0.0, 0.0], f64::INFINITY)
+            .unwrap();
+        assert!((short - 2.5).abs() < 1e-12);
+        assert!((long - 1.25).abs() < 1e-12);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn normalized_abandon_threshold_scales_with_length() {
+        let mut m = DistanceMeter::new();
+        // Raw distance 5 over length 4 → normalized 1.25.
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [3.0, 4.0, 0.0, 0.0];
+        assert_eq!(m.normalized_euclidean_early(&a, &b, 1.25), None);
+        assert!((m.normalized_euclidean_early(&a, &b, 1.26).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = DistanceMeter::new();
+        m.euclidean(&[1.0], &[2.0]);
+        m.reset();
+        assert_eq!(m.calls(), 0);
+        assert_eq!(m.abandoned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        DistanceMeter::new().euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

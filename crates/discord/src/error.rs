@@ -1,0 +1,62 @@
+//! Errors for discord searches.
+
+use std::fmt;
+
+/// Convenience alias used throughout `gv-discord`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by discord-discovery routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The discord length does not leave room for any non-self match
+    /// (needs `2 * len <= series_len`).
+    LengthTooLarge {
+        /// Requested discord length.
+        len: usize,
+        /// Length of the series searched.
+        series_len: usize,
+    },
+    /// The discord length must be positive.
+    ZeroLength,
+    /// A SAX parameter was invalid (wraps `gv-sax`'s message).
+    Sax(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthTooLarge { len, series_len } => write!(
+                f,
+                "discord length {len} too large for series of length {series_len} \
+                 (no non-self match can exist)"
+            ),
+            Error::ZeroLength => write!(f, "discord length must be positive"),
+            Error::Sax(msg) => write!(f, "SAX parameter error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<gv_sax::Error> for Error {
+    fn from(e: gv_sax::Error) -> Self {
+        Error::Sax(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = Error::LengthTooLarge {
+            len: 100,
+            series_len: 150,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(Error::ZeroLength.to_string().contains("positive"));
+        let s: Error = gv_sax::Error::EmptyInput.into();
+        assert!(matches!(s, Error::Sax(_)));
+    }
+}

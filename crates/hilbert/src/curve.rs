@@ -1,0 +1,189 @@
+//! The Hilbert curve index ↔ coordinate mapping.
+
+/// Largest supported curve order: a curve of order `k` has `4^k` cells and
+/// indexes must fit in `u64` comfortably (order 31 → 2^62 cells).
+pub const MAX_ORDER: u32 = 31;
+
+/// A Hilbert space-filling curve of a given order over the
+/// `2^order × 2^order` grid.
+///
+/// Uses the classic iterative rotate-and-accumulate algorithm; both
+/// directions are O(order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a curve of the given order (`1..=MAX_ORDER`).
+    ///
+    /// Returns `None` for order 0 (a single cell has no curve) or orders
+    /// beyond [`MAX_ORDER`].
+    pub fn new(order: u32) -> Option<Self> {
+        if (1..=MAX_ORDER).contains(&order) {
+            Some(Self { order })
+        } else {
+            None
+        }
+    }
+
+    /// The curve order.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Cells per grid side (`2^order`).
+    pub fn side(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Total number of cells (`4^order`).
+    pub fn cells(&self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    /// Curve index → grid coordinates.
+    ///
+    /// # Panics
+    /// Panics when `d >= self.cells()`.
+    pub fn d2xy(&self, d: u64) -> (u32, u32) {
+        assert!(d < self.cells(), "curve index {d} out of range");
+        let (mut x, mut y) = (0u64, 0u64);
+        let mut t = d;
+        let mut s = 1u64;
+        while s < self.side() {
+            let rx = 1 & (t / 2);
+            let ry = 1 & (t ^ rx);
+            Self::rot(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x as u32, y as u32)
+    }
+
+    /// Grid coordinates → curve index.
+    ///
+    /// # Panics
+    /// Panics when either coordinate is `>= self.side()`.
+    pub fn xy2d(&self, x: u32, y: u32) -> u64 {
+        let side = self.side();
+        assert!(
+            (x as u64) < side && (y as u64) < side,
+            "cell ({x}, {y}) out of range"
+        );
+        let (mut x, mut y) = (x as u64, y as u64);
+        let mut d = 0u64;
+        let mut s = side / 2;
+        while s > 0 {
+            let rx = u64::from((x & s) > 0);
+            let ry = u64::from((y & s) > 0);
+            d += s * s * ((3 * rx) ^ ry);
+            Self::rot(s, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+
+    /// Quadrant rotation helper.
+    fn rot(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+        if ry == 0 {
+            if rx == 1 {
+                *x = s.wrapping_sub(1).wrapping_sub(*x);
+                *y = s.wrapping_sub(1).wrapping_sub(*y);
+            }
+            std::mem::swap(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(HilbertCurve::new(0).is_none());
+        assert!(HilbertCurve::new(MAX_ORDER + 1).is_none());
+        let h = HilbertCurve::new(3).unwrap();
+        assert_eq!(h.order(), 3);
+        assert_eq!(h.side(), 8);
+        assert_eq!(h.cells(), 64);
+    }
+
+    #[test]
+    fn first_order_visits_quadrants_adjacent() {
+        // Figure 6, left panel: the 2×2 quadrants are ordered so that
+        // consecutive ones share an edge.
+        let h = HilbertCurve::new(1).unwrap();
+        let cells: Vec<_> = (0..4).map(|d| h.d2xy(d)).collect();
+        // All four distinct cells visited.
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        for w in cells.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1, "adjacency");
+        }
+    }
+
+    #[test]
+    fn bijective_small_orders() {
+        for order in 1..=6 {
+            let h = HilbertCurve::new(order).unwrap();
+            let mut seen = vec![false; h.cells() as usize];
+            for d in 0..h.cells() {
+                let (x, y) = h.d2xy(d);
+                assert!((x as u64) < h.side() && (y as u64) < h.side());
+                let back = h.xy2d(x, y);
+                assert_eq!(back, d, "order {order}: roundtrip of {d}");
+                let idx = (y as u64 * h.side() + x as u64) as usize;
+                assert!(!seen[idx], "order {order}: cell ({x},{y}) visited twice");
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&v| v), "order {order}: all cells visited");
+        }
+    }
+
+    #[test]
+    fn unit_step_adjacency_order4() {
+        let h = HilbertCurve::new(4).unwrap();
+        let mut prev = h.d2xy(0);
+        for d in 1..h.cells() {
+            let cur = h.d2xy(d);
+            let manhattan = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+            assert_eq!(manhattan, 1, "step {d}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn large_order_roundtrip_spot_checks() {
+        let h = HilbertCurve::new(16).unwrap();
+        for &d in &[0u64, 1, 12345, 99999999, h.cells() - 1] {
+            let (x, y) = h.d2xy(d);
+            assert_eq!(h.xy2d(x, y), d);
+        }
+        // Order 8, the paper's experiment order.
+        let h8 = HilbertCurve::new(8).unwrap();
+        assert_eq!(h8.cells(), 65536);
+        for d in (0..h8.cells()).step_by(97) {
+            let (x, y) = h8.d2xy(d);
+            assert_eq!(h8.xy2d(x, y), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn d_out_of_range_panics() {
+        HilbertCurve::new(2).unwrap().d2xy(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xy_out_of_range_panics() {
+        HilbertCurve::new(2).unwrap().xy2d(4, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Trajectory → time-series transformation (paper §5.1).
+
+use gv_timeseries::TimeSeries;
+
+use crate::curve::HilbertCurve;
+
+/// An axis-aligned bounding box in trajectory coordinates
+/// (x = longitude-like, y = latitude-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Smallest x (west edge).
+    pub min_x: f64,
+    /// Smallest y (south edge).
+    pub min_y: f64,
+    /// Largest x (east edge).
+    pub max_x: f64,
+    /// Largest y (north edge).
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// The tight bounding box of a point set, or `None` when empty or
+    /// containing non-finite coordinates.
+    pub fn of_points(points: &[(f64, f64)]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut bb = BoundingBox {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        };
+        for &(x, y) in points {
+            if !x.is_finite() || !y.is_finite() {
+                return None;
+            }
+            bb.min_x = bb.min_x.min(x);
+            bb.min_y = bb.min_y.min(y);
+            bb.max_x = bb.max_x.max(x);
+            bb.max_y = bb.max_y.max(y);
+        }
+        Some(bb)
+    }
+
+    /// Box width (0 for a degenerate box).
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Box height (0 for a degenerate box).
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+}
+
+/// Maps trajectory points into Hilbert-curve visit order over a bounding
+/// box — each recorded position becomes the curve index of its enclosing
+/// grid cell (Figure 6, right panel).
+#[derive(Debug, Clone)]
+pub struct TrajectoryMapper {
+    curve: HilbertCurve,
+    bbox: BoundingBox,
+}
+
+impl TrajectoryMapper {
+    /// Creates a mapper for the given curve order and bounding box.
+    ///
+    /// Returns `None` for an invalid order or a degenerate (zero-area) box.
+    pub fn new(order: u32, bbox: BoundingBox) -> Option<Self> {
+        let curve = HilbertCurve::new(order)?;
+        if bbox.width() <= 0.0
+            || bbox.height() <= 0.0
+            || bbox.width().is_nan()
+            || bbox.height().is_nan()
+        {
+            return None;
+        }
+        Some(Self { curve, bbox })
+    }
+
+    /// Creates a mapper whose box tightly encloses `points`
+    /// (the paper uses order 8 for its GPS trail).
+    pub fn fitting(order: u32, points: &[(f64, f64)]) -> Option<Self> {
+        Self::new(order, BoundingBox::of_points(points)?)
+    }
+
+    /// The underlying curve.
+    pub fn curve(&self) -> &HilbertCurve {
+        &self.curve
+    }
+
+    /// The mapping bounding box.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// The enclosing grid cell of one point (clamped to the box).
+    pub fn cell_of(&self, x: f64, y: f64) -> (u32, u32) {
+        let side = self.curve.side() as f64;
+        let fx = ((x - self.bbox.min_x) / self.bbox.width() * side).floor();
+        let fy = ((y - self.bbox.min_y) / self.bbox.height() * side).floor();
+        let cx = fx.clamp(0.0, side - 1.0) as u32;
+        let cy = fy.clamp(0.0, side - 1.0) as u32;
+        (cx, cy)
+    }
+
+    /// The Hilbert curve index of one point.
+    pub fn index_of(&self, x: f64, y: f64) -> u64 {
+        let (cx, cy) = self.cell_of(x, y);
+        self.curve.xy2d(cx, cy)
+    }
+
+    /// Transforms a whole trajectory into the scalar series of curve
+    /// indexes, ordered by recording time (§5.1's transformation).
+    pub fn transform(&self, points: &[(f64, f64)]) -> TimeSeries {
+        let values = points
+            .iter()
+            .map(|&(x, y)| self.index_of(x, y) as f64)
+            .collect();
+        TimeSeries::named("hilbert-trajectory", values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [(1.0, 5.0), (-2.0, 7.0), (3.0, 6.0)];
+        let bb = BoundingBox::of_points(&pts).unwrap();
+        assert_eq!((bb.min_x, bb.max_x), (-2.0, 3.0));
+        assert_eq!((bb.min_y, bb.max_y), (5.0, 7.0));
+        assert_eq!(bb.width(), 5.0);
+        assert_eq!(bb.height(), 2.0);
+        assert!(BoundingBox::of_points(&[]).is_none());
+        assert!(BoundingBox::of_points(&[(f64::NAN, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn mapper_rejects_degenerate_boxes() {
+        let flat = BoundingBox {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 1.0,
+            max_y: 0.0,
+        };
+        assert!(TrajectoryMapper::new(4, flat).is_none());
+        assert!(TrajectoryMapper::new(
+            0,
+            BoundingBox {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: 1.0,
+                max_y: 1.0
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn corners_and_clamping() {
+        let bb = BoundingBox {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 10.0,
+            max_y: 10.0,
+        };
+        let m = TrajectoryMapper::new(3, bb).unwrap(); // 8×8 grid
+        assert_eq!(m.cell_of(0.0, 0.0), (0, 0));
+        // Max corner clamps into the last cell.
+        assert_eq!(m.cell_of(10.0, 10.0), (7, 7));
+        // Out-of-box points clamp too.
+        assert_eq!(m.cell_of(-5.0, 50.0), (0, 7));
+        assert_eq!(m.cell_of(5.0, 5.0), (4, 4));
+    }
+
+    #[test]
+    fn nearby_points_get_nearby_indexes() {
+        let bb = BoundingBox {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 10.0,
+            max_y: 10.0,
+        };
+        let m = TrajectoryMapper::new(8, bb).unwrap(); // 256×256 cells
+                                                       // Points within one cell (cells are ~0.039 wide) share an index.
+        assert_eq!(m.index_of(3.001, 5.001), m.index_of(3.002, 5.002));
+        // Consecutive curve indexes always map to edge-adjacent cells, so a
+        // walk along the curve stays spatially local.
+        let c = m.curve();
+        for d in (0..c.cells() - 1).step_by(1009) {
+            let (x0, y0) = c.d2xy(d);
+            let (x1, y1) = c.d2xy(d + 1);
+            assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
+        }
+    }
+
+    #[test]
+    fn transform_preserves_length_and_time_order() {
+        let pts = vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (0.0, 1.0)];
+        let m = TrajectoryMapper::fitting(2, &pts).unwrap();
+        let ts = m.transform(&pts);
+        assert_eq!(ts.len(), 4);
+        // Repeating the trajectory repeats the series exactly.
+        let ts2 = m.transform(&pts);
+        assert_eq!(ts.values(), ts2.values());
+    }
+
+    #[test]
+    fn same_route_same_series_different_route_differs() {
+        let route_a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 0.0)).collect();
+        let mut route_b = route_a.clone();
+        for p in route_b.iter_mut().take(30).skip(20) {
+            p.1 = 20.0; // detour
+        }
+        let all: Vec<(f64, f64)> = route_a.iter().chain(route_b.iter()).copied().collect();
+        let m = TrajectoryMapper::fitting(6, &all).unwrap();
+        let sa = m.transform(&route_a);
+        let sb = m.transform(&route_b);
+        assert_ne!(sa.values(), sb.values());
+        // The non-detour prefix matches.
+        assert_eq!(&sa.values()[..20], &sb.values()[..20]);
+    }
+}

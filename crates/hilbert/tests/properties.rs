@@ -1,0 +1,55 @@
+//! Property tests for the Hilbert curve and the trajectory mapper.
+
+use gv_hilbert::{BoundingBox, HilbertCurve, TrajectoryMapper};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// d → (x, y) → d round-trips at any order for arbitrary indexes.
+    #[test]
+    fn roundtrip_any_order(order in 1u32..20, frac in 0.0f64..1.0) {
+        let h = HilbertCurve::new(order).unwrap();
+        let d = ((h.cells() - 1) as f64 * frac) as u64;
+        let (x, y) = h.d2xy(d);
+        prop_assert_eq!(h.xy2d(x, y), d);
+    }
+
+    /// Consecutive indexes map to edge-adjacent cells at any order.
+    #[test]
+    fn unit_step_adjacency(order in 1u32..16, frac in 0.0f64..1.0) {
+        let h = HilbertCurve::new(order).unwrap();
+        let d = ((h.cells() - 2) as f64 * frac) as u64;
+        let (x0, y0) = h.d2xy(d);
+        let (x1, y1) = h.d2xy(d + 1);
+        prop_assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
+    }
+
+    /// Every in-box point maps to an in-range curve index, and the mapping
+    /// is deterministic.
+    #[test]
+    fn mapper_total_and_deterministic(
+        order in 1u32..12,
+        x in -1.0f64..11.0, // includes out-of-box values (they clamp)
+        y in -1.0f64..11.0,
+    ) {
+        let bb = BoundingBox { min_x: 0.0, min_y: 0.0, max_x: 10.0, max_y: 10.0 };
+        let m = TrajectoryMapper::new(order, bb).unwrap();
+        let d1 = m.index_of(x, y);
+        let d2 = m.index_of(x, y);
+        prop_assert_eq!(d1, d2);
+        prop_assert!(d1 < m.curve().cells());
+    }
+
+    /// The transform preserves length and ordering of the input points.
+    #[test]
+    fn transform_lengths(points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..100)) {
+        // Degenerate (collinear) point sets have no valid mapper; skip.
+        let Some(m) = TrajectoryMapper::fitting(8, &points) else {
+            return Ok(());
+        };
+        let ts = m.transform(&points);
+        prop_assert_eq!(ts.len(), points.len());
+        prop_assert!(ts.values().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Interning SAX words into dense `u32` tokens.
+//!
+//! Sequitur (the grammar stage) operates on integer terminals; the
+//! dictionary maps each distinct SAX word to a stable token id and back.
+
+use std::collections::HashMap;
+
+use crate::word::SaxWord;
+
+/// A bidirectional word ↔ token table.
+///
+/// Tokens are assigned densely in first-seen order, so the grammar stage
+/// can use them directly as array indexes.
+#[derive(Debug, Clone, Default)]
+pub struct SaxDictionary {
+    by_word: HashMap<SaxWord, u32>,
+    by_token: Vec<SaxWord>,
+}
+
+impl SaxDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the token for `word`, inserting it if unseen.
+    pub fn intern(&mut self, word: &SaxWord) -> u32 {
+        if let Some(&t) = self.by_word.get(word) {
+            return t;
+        }
+        let t = self.by_token.len() as u32;
+        self.by_token.push(word.clone());
+        self.by_word.insert(word.clone(), t);
+        t
+    }
+
+    /// Looks a word up without inserting.
+    pub fn token_of(&self, word: &SaxWord) -> Option<u32> {
+        self.by_word.get(word).copied()
+    }
+
+    /// The word for a token, if assigned.
+    pub fn word_of(&self, token: u32) -> Option<&SaxWord> {
+        self.by_token.get(token as usize)
+    }
+
+    /// Number of distinct words interned.
+    pub fn len(&self) -> usize {
+        self.by_token.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_token.is_empty()
+    }
+
+    /// Iterates `(token, word)` pairs in token order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &SaxWord)> {
+        self.by_token.iter().enumerate().map(|(i, w)| (i as u32, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> SaxWord {
+        SaxWord::from_letters(s).unwrap()
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut d = SaxDictionary::new();
+        assert!(d.is_empty());
+        let t0 = d.intern(&w("abc"));
+        let t1 = d.intern(&w("abd"));
+        let t0_again = d.intern(&w("abc"));
+        assert_eq!(t0, 0);
+        assert_eq!(t1, 1);
+        assert_eq!(t0, t0_again);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookups() {
+        let mut d = SaxDictionary::new();
+        let t = d.intern(&w("ca"));
+        assert_eq!(d.token_of(&w("ca")), Some(t));
+        assert_eq!(d.token_of(&w("zz")), None);
+        assert_eq!(d.word_of(t), Some(&w("ca")));
+        assert_eq!(d.word_of(99), None);
+    }
+
+    #[test]
+    fn iteration_in_token_order() {
+        let mut d = SaxDictionary::new();
+        d.intern(&w("b"));
+        d.intern(&w("a"));
+        let pairs: Vec<_> = d.iter().map(|(t, word)| (t, word.to_letters())).collect();
+        assert_eq!(pairs, vec![(0, "b".to_string()), (1, "a".to_string())]);
+    }
+}

@@ -1,0 +1,79 @@
+//! SAX-specific error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout `gv-sax`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by SAX discretization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Alphabet size outside `[MIN_ALPHABET, MAX_ALPHABET]`.
+    AlphabetSize(usize),
+    /// PAA size must be in `1..=window`.
+    PaaSize {
+        /// The offending PAA size.
+        paa: usize,
+        /// The window it must not exceed.
+        window: usize,
+    },
+    /// Window must be positive and fit the series.
+    Window {
+        /// The offending window length.
+        window: usize,
+        /// The series length it must not exceed.
+        series_len: usize,
+    },
+    /// Input slice was empty where data is required.
+    EmptyInput,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AlphabetSize(a) => write!(
+                f,
+                "alphabet size {a} out of range [{}, {}]",
+                crate::MIN_ALPHABET,
+                crate::MAX_ALPHABET
+            ),
+            Error::PaaSize { paa, window } => {
+                write!(
+                    f,
+                    "PAA size {paa} must be in 1..={window} (the window length)"
+                )
+            }
+            Error::Window { window, series_len } => {
+                write!(
+                    f,
+                    "window {window} must be positive and <= series length {series_len}"
+                )
+            }
+            Error::EmptyInput => write!(f, "input series is empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(Error::AlphabetSize(1)
+            .to_string()
+            .contains("alphabet size 1"));
+        assert!(Error::PaaSize { paa: 9, window: 4 }
+            .to_string()
+            .contains("PAA size 9"));
+        assert!(Error::Window {
+            window: 0,
+            series_len: 5
+        }
+        .to_string()
+        .contains("window 0"));
+        assert!(Error::EmptyInput.to_string().contains("empty"));
+    }
+}

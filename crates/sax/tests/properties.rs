@@ -1,0 +1,93 @@
+//! Property tests for the SAX stage.
+
+use gv_sax::{paa, Alphabet, NumerosityReduction, SaxConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PAA is linear: paa(a + b) == paa(a) + paa(b), pointwise.
+    #[test]
+    fn paa_is_linear(
+        a in proptest::collection::vec(-10.0f64..10.0, 8..64),
+        scale in -3.0f64..3.0,
+        w in 1usize..8,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * scale + 1.0).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let pa = paa(&a, w);
+        let pb = paa(&b, w);
+        let ps = paa(&sum, w);
+        for ((x, y), s) in pa.iter().zip(&pb).zip(&ps) {
+            prop_assert!((x + y - s).abs() < 1e-9, "{x} + {y} != {s}");
+        }
+    }
+
+    /// PAA values always lie within the input's [min, max].
+    #[test]
+    fn paa_within_input_range(
+        v in proptest::collection::vec(-10.0f64..10.0, 4..64),
+        w in 1usize..10,
+    ) {
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for p in paa(&v, w) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Alphabet symbols are monotone in the value: larger values never get
+    /// smaller symbols.
+    #[test]
+    fn symbols_monotone(size in 2usize..=20, x in -4.0f64..4.0, y in -4.0f64..4.0) {
+        let a = Alphabet::new(size).unwrap();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(a.symbol(lo) <= a.symbol(hi));
+    }
+
+    /// Breakpoints are strictly ascending and symmetric about zero.
+    #[test]
+    fn breakpoints_ascending_symmetric(size in 2usize..=20) {
+        let a = Alphabet::new(size).unwrap();
+        let b = a.breakpoints();
+        for w in b.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for (lo, hi) in b.iter().zip(b.iter().rev()) {
+            prop_assert!((lo + hi).abs() < 1e-6, "{lo} vs {hi}");
+        }
+    }
+
+    /// Discretization is shift- and scale-invariant (z-normalization eats
+    /// affine transforms with positive scale).
+    #[test]
+    fn discretize_affine_invariant(
+        steps in proptest::collection::vec(-1.0f64..1.0, 100..240),
+        shift in -100.0f64..100.0,
+        scale in 0.5f64..50.0,
+    ) {
+        let mut acc = 0.0;
+        let v: Vec<f64> = steps.iter().map(|s| { acc += s; acc }).collect();
+        let t: Vec<f64> = v.iter().map(|x| x * scale + shift).collect();
+        let cfg = SaxConfig::new(32, 4, 4).unwrap();
+        prop_assume!(v.len() >= 32);
+        let rv = cfg.discretize(&v, NumerosityReduction::Exact).unwrap();
+        let rt = cfg.discretize(&t, NumerosityReduction::Exact).unwrap();
+        prop_assert_eq!(rv, rt);
+    }
+
+    /// A word's symbols always fit the configured alphabet.
+    #[test]
+    fn words_within_alphabet(
+        steps in proptest::collection::vec(-1.0f64..1.0, 64..128),
+        alpha in 2usize..=12,
+        w in 2usize..8,
+    ) {
+        let mut acc = 0.0;
+        let v: Vec<f64> = steps.iter().map(|s| { acc += s; acc }).collect();
+        let cfg = SaxConfig::new(32, w, alpha).unwrap();
+        let word = cfg.word(&v[..32]).unwrap();
+        prop_assert_eq!(word.len(), w);
+        prop_assert!(word.symbols().iter().all(|&s| (s as usize) < alpha));
+    }
+}

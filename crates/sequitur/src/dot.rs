@@ -1,0 +1,76 @@
+//! GraphViz DOT export of a grammar's rule hierarchy.
+//!
+//! GrammarViz renders the rule hierarchy visually; for a library the
+//! equivalent is a `.dot` file: one node per rule (labelled with its use
+//! count and expansion length), edges from each rule to the rules on its
+//! right-hand side (weighted by reference multiplicity), and terminal
+//! counts summarized per rule.
+
+use std::fmt::Write as _;
+
+use crate::grammar::{Grammar, Symbol};
+
+/// Renders the grammar as a GraphViz digraph.
+///
+/// Terminals are summarized (a rule node shows how many terminal tokens
+/// its right-hand side holds) to keep graphs readable for real grammars
+/// with hundreds of distinct words.
+pub fn to_dot(grammar: &Grammar) -> String {
+    let mut out = String::from("digraph grammar {\n  rankdir=TB;\n  node [shape=box];\n");
+    for rule in grammar.rules() {
+        let terminals = rule
+            .rhs
+            .iter()
+            .filter(|s| matches!(s, Symbol::Terminal(_)))
+            .count();
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nuses={} terms={} span={}\"];",
+            rule.id,
+            rule.id,
+            rule.rule_uses,
+            terminals,
+            grammar.expansion_len(rule.id)
+        );
+        // Count multiplicity of each referenced rule.
+        let mut refs: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for s in &rule.rhs {
+            if let Symbol::Rule(r) = s {
+                *refs.entry(r.0).or_insert(0) += 1;
+            }
+        }
+        for (child, mult) in refs {
+            let _ = writeln!(out, "  {} -> R{child} [label=\"x{mult}\"];", rule.id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::induction::Sequitur;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        // abcabc → R0: R1 R1; R1: a b c.
+        let g = Sequitur::induce([0u32, 1, 2, 0, 1, 2]);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph grammar {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("R0 ["));
+        assert!(dot.contains("R1 ["));
+        // R0 references R1 twice → multiplicity label.
+        assert!(dot.contains("R0 -> R1 [label=\"x2\"]"), "{dot}");
+        assert!(dot.contains("uses=2"));
+    }
+
+    #[test]
+    fn flat_grammar_has_no_edges() {
+        let g = Sequitur::induce([1u32, 2, 3, 4]);
+        let dot = to_dot(&g);
+        assert!(!dot.contains("->"));
+        assert!(dot.contains("terms=4"));
+    }
+}

@@ -1,0 +1,621 @@
+//! The incremental Sequitur algorithm.
+//!
+//! A faithful arena-based port of the classic doubly-linked-list
+//! implementation (Nevill-Manning & Witten's `sequitur` C++): symbols live
+//! in a slab with `u32` links, rules are circular lists closed by a *guard*
+//! node, and a digram hash table maps each adjacent symbol pair to its
+//! single allowed location.
+
+use std::collections::HashMap;
+
+use crate::grammar::{Grammar, GrammarRule, RuleId, Symbol};
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// A symbol value inside the working grammar.
+///
+/// `Guard(r)` is the sentinel closing rule `r`'s circular list; guards never
+/// participate in digrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Val {
+    Term(u32),
+    Rule(u32),
+    Guard(u32),
+}
+
+impl Val {
+    fn is_guard(self) -> bool {
+        matches!(self, Val::Guard(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: u32,
+    next: u32,
+    val: Val,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RuleSlot {
+    /// The guard node closing this rule's circular symbol list.
+    guard: u32,
+    /// How many non-terminal symbols reference this rule.
+    uses: u32,
+    alive: bool,
+}
+
+/// Incremental Sequitur inducer over `u32` terminal tokens.
+///
+/// Feed tokens with [`Sequitur::push`], then call [`Sequitur::finish`]
+/// (or use the [`Sequitur::induce`] convenience) to obtain the final
+/// immutable [`Grammar`].
+#[derive(Debug)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rules: Vec<RuleSlot>,
+    digrams: HashMap<(Val, Val), u32>,
+    /// Number of terminals consumed.
+    len: usize,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an inducer with an empty start rule `R0`.
+    pub fn new() -> Self {
+        let mut s = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            digrams: HashMap::new(),
+            len: 0,
+        };
+        s.new_rule(); // R0
+        s
+    }
+
+    /// Induces a grammar from an entire token stream in one call.
+    pub fn induce<I: IntoIterator<Item = u32>>(tokens: I) -> Grammar {
+        let mut s = Self::new();
+        for t in tokens {
+            s.push(t);
+        }
+        s.finish()
+    }
+
+    /// Number of terminals consumed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no terminal has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one terminal token to `R0` and restores the invariants.
+    pub fn push(&mut self, token: u32) {
+        self.len += 1;
+        let node = self.alloc(Val::Term(token));
+        let guard = self.rules[0].guard;
+        let last = self.nodes[guard as usize].prev;
+        self.insert_after(last, node);
+        if self.nodes[node as usize].prev != guard {
+            let p = self.nodes[node as usize].prev;
+            self.check(p);
+        }
+    }
+
+    /// Extracts the current grammar without consuming the inducer —
+    /// the streaming/early-detection entry point (paper §7 future work):
+    /// push tokens as they arrive, snapshot whenever a decision is needed.
+    pub fn snapshot(&self) -> Grammar {
+        self.extract()
+    }
+
+    /// Finalizes induction and extracts the immutable [`Grammar`].
+    pub fn finish(self) -> Grammar {
+        self.extract()
+    }
+
+    fn extract(&self) -> Grammar {
+        let mut rules: Vec<Option<GrammarRule>> = Vec::with_capacity(self.rules.len());
+        // Compact rule ids: map arena rule index → dense grammar id, keeping
+        // creation order (R0 first), skipping deleted rules.
+        let mut id_map: Vec<Option<RuleId>> = vec![None; self.rules.len()];
+        let mut next_id = 0u32;
+        for (i, slot) in self.rules.iter().enumerate() {
+            if slot.alive {
+                id_map[i] = Some(RuleId(next_id));
+                next_id += 1;
+            }
+        }
+        for (i, slot) in self.rules.iter().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            let mut rhs = Vec::new();
+            let guard = slot.guard;
+            let mut cur = self.nodes[guard as usize].next;
+            while cur != guard {
+                let val = self.nodes[cur as usize].val;
+                rhs.push(match val {
+                    Val::Term(t) => Symbol::Terminal(t),
+                    Val::Rule(r) => {
+                        Symbol::Rule(id_map[r as usize].expect("live rule referenced a dead rule"))
+                    }
+                    Val::Guard(_) => unreachable!("guard inside rule body"),
+                });
+                cur = self.nodes[cur as usize].next;
+            }
+            rules.push(Some(GrammarRule {
+                id: id_map[i].unwrap(),
+                rhs,
+                rule_uses: slot.uses as usize,
+            }));
+        }
+        Grammar::from_rules(rules.into_iter().flatten().collect(), self.len)
+    }
+
+    // ----- arena plumbing -------------------------------------------------
+
+    fn alloc(&mut self, val: Val) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node {
+                prev: NIL,
+                next: NIL,
+                val,
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                val,
+            });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize] = Node {
+            prev: NIL,
+            next: NIL,
+            val: Val::Guard(u32::MAX),
+        };
+        self.free.push(idx);
+    }
+
+    fn val(&self, idx: u32) -> Val {
+        self.nodes[idx as usize].val
+    }
+
+    fn next(&self, idx: u32) -> u32 {
+        self.nodes[idx as usize].next
+    }
+
+    fn prev(&self, idx: u32) -> u32 {
+        self.nodes[idx as usize].prev
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let rule_id = self.rules.len() as u32;
+        let guard = self.alloc(Val::Guard(rule_id));
+        // Circular: an empty rule's guard points at itself.
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(RuleSlot {
+            guard,
+            uses: 0,
+            alive: true,
+        });
+        rule_id
+    }
+
+    fn digram_key(&self, first: u32) -> Option<(Val, Val)> {
+        let n = self.next(first);
+        if n == NIL {
+            return None;
+        }
+        let a = self.val(first);
+        let b = self.val(n);
+        if a.is_guard() || b.is_guard() {
+            return None;
+        }
+        Some((a, b))
+    }
+
+    /// Removes the digram starting at `first` from the index, if the index
+    /// currently points at `first`.
+    fn delete_digram(&mut self, first: u32) {
+        if let Some(key) = self.digram_key(first) {
+            if self.digrams.get(&key) == Some(&first) {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    /// Links `left` → `right`, maintaining the digram index (including the
+    /// classic "triples" adjustment for runs like `aaa`).
+    fn join(&mut self, left: u32, right: u32) {
+        if self.next(left) != NIL {
+            self.delete_digram(left);
+
+            // Triples fix-ups, as in the original implementation: when a
+            // symbol sits between two copies of itself, make sure the index
+            // points at a digram that still exists after the relink.
+            let rp = self.prev(right);
+            let rn = self.next(right);
+            if rp != NIL
+                && rn != NIL
+                && self.val(right) == self.val(rp)
+                && self.val(right) == self.val(rn)
+            {
+                if let Some(key) = self.digram_key(right) {
+                    self.digrams.insert(key, right);
+                }
+            }
+            let lp = self.prev(left);
+            let ln = self.next(left);
+            if lp != NIL
+                && ln != NIL
+                && self.val(left) == self.val(lp)
+                && self.val(left) == self.val(ln)
+            {
+                if let Some(key) = self.digram_key(lp) {
+                    self.digrams.insert(key, lp);
+                }
+            }
+        }
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+    }
+
+    /// Inserts node `y` right after node `x`.
+    fn insert_after(&mut self, x: u32, y: u32) {
+        let xn = self.next(x);
+        self.join(y, xn);
+        self.join(x, y);
+    }
+
+    /// Unlinks and frees a symbol node, updating the digram index and rule
+    /// use counts (the C++ destructor).
+    fn delete_symbol(&mut self, idx: u32) {
+        let p = self.prev(idx);
+        let n = self.next(idx);
+        self.join(p, n);
+        if !self.val(idx).is_guard() {
+            self.delete_digram(idx);
+            if let Val::Rule(r) = self.val(idx) {
+                self.rules[r as usize].uses -= 1;
+            }
+        }
+        self.release(idx);
+    }
+
+    /// Enforces digram uniqueness for the digram starting at `first`.
+    /// Returns `true` when the grammar changed (or the digram was already
+    /// indexed elsewhere).
+    fn check(&mut self, first: u32) -> bool {
+        let key = match self.digram_key(first) {
+            Some(k) => k,
+            None => return false,
+        };
+        match self.digrams.get(&key).copied() {
+            None => {
+                self.digrams.insert(key, first);
+                false
+            }
+            Some(existing) => {
+                if existing != first && self.next(existing) != first {
+                    self.match_digrams(first, existing);
+                }
+                true
+            }
+        }
+    }
+
+    /// Deals with a digram at `new` that duplicates the indexed digram at
+    /// `existing`: reuse the rule when `existing` is a complete rule body,
+    /// otherwise create a fresh rule for the pair.
+    fn match_digrams(&mut self, new: u32, existing: u32) {
+        let e_prev = self.prev(existing);
+        let e_next_next = self.next(self.next(existing));
+        let rule_id = if self.val(e_prev).is_guard() && self.val(e_next_next).is_guard() {
+            // `existing` spans an entire rule body: reuse that rule.
+            let r = match self.val(e_prev) {
+                Val::Guard(r) => r,
+                _ => unreachable!(),
+            };
+            self.substitute(new, r);
+            r
+        } else {
+            // Create a new rule holding a copy of the digram.
+            let r = self.new_rule();
+            let a = self.val(new);
+            let b = self.val(self.next(new));
+            let guard = self.rules[r as usize].guard;
+            let na = self.alloc(a);
+            if let Val::Rule(ra) = a {
+                self.rules[ra as usize].uses += 1;
+            }
+            self.insert_after(guard, na);
+            let nb = self.alloc(b);
+            if let Val::Rule(rb) = b {
+                self.rules[rb as usize].uses += 1;
+            }
+            self.insert_after(na, nb);
+
+            self.substitute(existing, r);
+            self.substitute(new, r);
+
+            // Index the digram that now constitutes the rule body.
+            let body_first = self.next(self.rules[r as usize].guard);
+            if let Some(key) = self.digram_key(body_first) {
+                self.digrams.insert(key, body_first);
+            }
+            r
+        };
+
+        // Rule utility: if a boundary symbol of the (re)used rule is itself
+        // a rule reference whose rule is now used only once, inline it.
+        // (The classic implementation checks only the first symbol; the
+        // symmetric case — a last-symbol rule dropping to one use — is
+        // possible too and is handled here the same way.)
+        let body_first = self.next(self.rules[rule_id as usize].guard);
+        if let Val::Rule(inner) = self.val(body_first) {
+            if self.rules[inner as usize].uses == 1 {
+                self.expand(body_first);
+            }
+        }
+        let body_last = self.prev(self.rules[rule_id as usize].guard);
+        if body_last != body_first {
+            if let Val::Rule(inner) = self.val(body_last) {
+                if self.rules[inner as usize].uses == 1 {
+                    self.expand(body_last);
+                }
+            }
+        }
+    }
+
+    /// Replaces the two symbols starting at `first` with a reference to
+    /// rule `r`, then re-checks the digrams around the new non-terminal.
+    fn substitute(&mut self, first: u32, r: u32) {
+        let q = self.prev(first);
+        let second = self.next(first);
+        self.delete_symbol(first);
+        self.delete_symbol(second);
+        let nt = self.alloc(Val::Rule(r));
+        self.rules[r as usize].uses += 1;
+        self.insert_after(q, nt);
+        if !self.check(q) {
+            let qn = self.next(q);
+            self.check(qn);
+        }
+    }
+
+    /// Inlines the body of the once-used rule referenced by the
+    /// non-terminal node `nt`, deleting the rule (utility enforcement).
+    fn expand(&mut self, nt: u32) {
+        let left = self.prev(nt);
+        let right = self.next(nt);
+        let r = match self.val(nt) {
+            Val::Rule(r) => r,
+            _ => unreachable!("expand called on a non-rule symbol"),
+        };
+        let guard = self.rules[r as usize].guard;
+        let first = self.next(guard);
+        let last = self.prev(guard);
+        debug_assert_ne!(first, guard, "expanding an empty rule");
+
+        // Remove the digram entry anchored at `nt` before unlinking it.
+        self.delete_digram(nt);
+        // Also the digram (left, nt) dies with the relink; `join` handles it.
+        self.rules[r as usize].uses -= 1;
+        debug_assert_eq!(self.rules[r as usize].uses, 0);
+        self.rules[r as usize].alive = false;
+        self.release(nt);
+        self.release(guard);
+
+        self.join(left, first);
+        self.join(last, right);
+
+        // The classic implementation indexes the freshly created trailing
+        // digram directly (overwriting any stale entry). We do the same for
+        // the leading digram, which arises when expanding a rule's *last*
+        // symbol (where `left` is a real symbol, not the guard).
+        if let Some(key) = self.digram_key(last) {
+            self.digrams.insert(key, last);
+        }
+        if let Some(key) = self.digram_key(left) {
+            self.digrams.insert(key, left);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Symbol;
+
+    fn letters(s: &str) -> Vec<u32> {
+        s.bytes().map(|b| (b - b'a') as u32).collect()
+    }
+
+    #[test]
+    fn empty_input_gives_empty_r0() {
+        let g = Sequitur::induce(std::iter::empty());
+        assert_eq!(g.num_rules(), 1);
+        assert!(g.rule(g.r0_id()).rhs.is_empty());
+        assert_eq!(g.input_len(), 0);
+    }
+
+    #[test]
+    fn single_token() {
+        let g = Sequitur::induce([42u32]);
+        assert_eq!(g.num_rules(), 1);
+        assert_eq!(g.rule(g.r0_id()).rhs, vec![Symbol::Terminal(42)]);
+    }
+
+    #[test]
+    fn no_repetition_no_rules() {
+        let g = Sequitur::induce(letters("abcdefg"));
+        assert_eq!(g.num_rules(), 1);
+        assert_eq!(g.rule(g.r0_id()).rhs.len(), 7);
+    }
+
+    #[test]
+    fn abab_creates_one_rule() {
+        let g = Sequitur::induce(letters("abab"));
+        assert_eq!(g.num_rules(), 2);
+        let r0 = g.rule(g.r0_id());
+        assert_eq!(r0.rhs.len(), 2);
+        // Both R0 symbols are the same rule, used twice.
+        match (&r0.rhs[0], &r0.rhs[1]) {
+            (Symbol::Rule(a), Symbol::Rule(b)) => {
+                assert_eq!(a, b);
+                assert_eq!(g.rule(*a).rule_uses, 2);
+                assert_eq!(g.expand_rule(*a), letters("ab"));
+            }
+            other => panic!("unexpected R0 shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_motivating_example() {
+        // §3: S = abc abc cba xxx abc abc cba, over word-tokens
+        // {abc→0, cba→1, xxx→2}: 0 0 1 2 0 0 1.
+        let g = Sequitur::induce([0u32, 0, 1, 2, 0, 0, 1]);
+        let r0 = g.rule(g.r0_id());
+        // Expect R0 → R1 xxx R1 with R1 → 0 0 1 (possibly via nesting).
+        assert_eq!(g.expand_rule(g.r0_id()), vec![0, 0, 1, 2, 0, 0, 1]);
+        assert_eq!(r0.rhs.len(), 3);
+        assert!(matches!(r0.rhs[1], Symbol::Terminal(2)));
+        match (&r0.rhs[0], &r0.rhs[2]) {
+            (Symbol::Rule(a), Symbol::Rule(b)) => {
+                assert_eq!(a, b);
+                assert_eq!(g.expand_rule(*a), vec![0, 0, 1]);
+            }
+            other => panic!("unexpected R0 shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_reuse_nested() {
+        // Classic: "abcdbcabcdbc" → hierarchy with nested rules.
+        let g = Sequitur::induce(letters("abcdbcabcdbc"));
+        assert_eq!(
+            g.expand_rule(g.r0_id()),
+            letters("abcdbc")
+                .iter()
+                .chain(letters("abcdbc").iter())
+                .copied()
+                .collect::<Vec<_>>()
+        );
+        // All rules except R0 used at least twice (utility invariant).
+        for rule in g.rules() {
+            if rule.id != g.r0_id() {
+                assert!(
+                    rule.rule_uses >= 2,
+                    "rule {:?} used {}",
+                    rule.id,
+                    rule.rule_uses
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triples_run() {
+        // Runs of one symbol exercise the overlapping-digram guard.
+        for n in 2..=40 {
+            let input = vec![7u32; n];
+            let g = Sequitur::induce(input.clone());
+            assert_eq!(g.expand_rule(g.r0_id()), input, "run length {n}");
+        }
+    }
+
+    #[test]
+    fn alternating_long() {
+        let input: Vec<u32> = (0..200).map(|i| i % 2).collect();
+        let g = Sequitur::induce(input.clone());
+        assert_eq!(g.expand_rule(g.r0_id()), input);
+        // Strong compression expected: R0 shrinks well below input length.
+        assert!(g.rule(g.r0_id()).rhs.len() < 20);
+    }
+
+    #[test]
+    fn utility_holds_on_structured_input() {
+        let mut input = Vec::new();
+        for _ in 0..10 {
+            input.extend(letters("abcab"));
+            input.extend(letters("xyz"));
+        }
+        let g = Sequitur::induce(input.clone());
+        assert_eq!(g.expand_rule(g.r0_id()), input);
+        for rule in g.rules() {
+            if rule.id != g.r0_id() {
+                assert!(rule.rule_uses >= 2);
+                assert!(rule.rhs.len() >= 2, "rules have at least two symbols");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let input = letters("abcabdabcabdabcabe");
+        let mut s = Sequitur::new();
+        assert!(s.is_empty());
+        for &t in &input {
+            s.push(t);
+        }
+        assert_eq!(s.len(), input.len());
+        let g1 = s.finish();
+        let g2 = Sequitur::induce(input.clone());
+        assert_eq!(g1.expand_rule(g1.r0_id()), g2.expand_rule(g2.r0_id()));
+        assert_eq!(g1.num_rules(), g2.num_rules());
+    }
+
+    #[test]
+    fn snapshot_matches_finish_and_allows_continuation() {
+        let input = letters("abcabdabcabdabcab");
+        let mut s = Sequitur::new();
+        for &t in &input[..10] {
+            s.push(t);
+        }
+        let mid = s.snapshot();
+        assert_eq!(mid.expand_rule(mid.r0_id()), input[..10].to_vec());
+        // Continue pushing after the snapshot; the final grammar matches a
+        // fresh batch run.
+        for &t in &input[10..] {
+            s.push(t);
+        }
+        let done = s.finish();
+        let batch = Sequitur::induce(input.clone());
+        assert_eq!(done.expand_rule(done.r0_id()), input);
+        assert_eq!(done.num_rules(), batch.num_rules());
+    }
+
+    #[test]
+    fn grammar_is_smaller_than_repetitive_input() {
+        let mut input = Vec::new();
+        for _ in 0..50 {
+            input.extend(letters("abcdefgh"));
+        }
+        let g = Sequitur::induce(input.clone());
+        assert_eq!(g.expand_rule(g.r0_id()), input);
+        assert!(
+            g.grammar_size() < input.len() / 2,
+            "size {}",
+            g.grammar_size()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared across the workspace's substrate crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout `gv-timeseries`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by time-series operations.
+#[derive(Debug)]
+pub enum Error {
+    /// The series is empty where a non-empty one is required.
+    EmptySeries,
+    /// A window/subsequence request does not fit the series.
+    ///
+    /// Holds `(requested_start, requested_len, series_len)`.
+    WindowOutOfBounds {
+        /// Start index of the requested subsequence.
+        start: usize,
+        /// Length of the requested subsequence.
+        len: usize,
+        /// Length of the underlying series.
+        series_len: usize,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+    /// An IO failure while reading or writing series files.
+    Io(std::io::Error),
+    /// A value in a CSV file failed to parse as `f64`.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The text that failed to parse.
+        text: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySeries => write!(f, "operation requires a non-empty time series"),
+            Error::WindowOutOfBounds {
+                start,
+                len,
+                series_len,
+            } => write!(
+                f,
+                "subsequence [{start}, {}) out of bounds for series of length {series_len}",
+                start + len
+            ),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?} as a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::WindowOutOfBounds {
+            start: 10,
+            len: 5,
+            series_len: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "subsequence [10, 15) out of bounds for series of length 12"
+        );
+        assert!(Error::EmptySeries.to_string().contains("non-empty"));
+        let p = Error::Parse {
+            line: 3,
+            text: "abc".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        assert!(p.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

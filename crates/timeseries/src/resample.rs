@@ -1,0 +1,108 @@
+//! Linear resampling between subsequence lengths.
+//!
+//! RRA compares candidate subsequences of *different* lengths (paper §4.2):
+//! before taking the length-normalized Euclidean distance of Eq. (1), the
+//! match is linearly resampled onto the candidate's length so the
+//! point-wise differences are defined.
+
+/// Linearly interpolates `values` at fractional position `pos`
+/// (`0.0 ..= values.len()-1`). Positions are clamped to the valid range.
+fn lerp_at(values: &[f64], pos: f64) -> f64 {
+    debug_assert!(!values.is_empty());
+    if pos <= 0.0 {
+        return values[0];
+    }
+    let last = (values.len() - 1) as f64;
+    if pos >= last {
+        return values[values.len() - 1];
+    }
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    values[i] * (1.0 - frac) + values[i + 1] * frac
+}
+
+/// Resamples `values` to exactly `target_len` points by linear
+/// interpolation, preserving the first and last samples.
+///
+/// Returns an empty vector when either length is zero. A single-point input
+/// is replicated.
+///
+/// ```
+/// use gv_timeseries::resample_linear;
+/// assert_eq!(resample_linear(&[0.0, 2.0], 3), vec![0.0, 1.0, 2.0]);
+/// ```
+pub fn resample_linear(values: &[f64], target_len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; target_len];
+    resample_to(values, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`resample_linear`]: fills `out` with the
+/// resampled signal. `out.len()` determines the target length.
+pub fn resample_to(values: &[f64], out: &mut [f64]) {
+    if out.is_empty() {
+        return;
+    }
+    if values.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    if values.len() == 1 {
+        out.fill(values[0]);
+        return;
+    }
+    if out.len() == 1 {
+        out[0] = values[0];
+        return;
+    }
+    let scale = (values.len() - 1) as f64 / (out.len() - 1) as f64;
+    for (j, slot) in out.iter_mut().enumerate() {
+        *slot = lerp_at(values, j as f64 * scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_lengths_match() {
+        let v = [1.0, 5.0, -2.0, 0.5];
+        assert_eq!(resample_linear(&v, 4), v.to_vec());
+    }
+
+    #[test]
+    fn upsample_is_linear() {
+        let out = resample_linear(&[0.0, 4.0], 5);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = resample_linear(&v, 10);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[9], 99.0);
+        // Monotone input stays monotone under linear resampling.
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(resample_linear(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(resample_linear(&[], 3), vec![0.0; 3]);
+        assert_eq!(resample_linear(&[7.0], 4), vec![7.0; 4]);
+        assert_eq!(resample_linear(&[3.0, 9.0], 1), vec![3.0]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_linear_signal() {
+        let v: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let up = resample_linear(&v, 57);
+        let back = resample_linear(&up, 20);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

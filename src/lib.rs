@@ -1,0 +1,39 @@
+//! # grammarviz
+//!
+//! Facade crate for the grammarviz-rs workspace — a Rust reproduction of
+//! *"Time series anomaly discovery with grammar-based compression"*
+//! (Senin et al., EDBT 2015).
+//!
+//! Re-exports every workspace crate under one roof so applications can
+//! depend on a single crate:
+//!
+//! ```
+//! use grammarviz::core::{AnomalyPipeline, PipelineConfig};
+//! use grammarviz::datasets;
+//!
+//! let data = datasets::ecg::ecg0606(Default::default());
+//! let pipeline = AnomalyPipeline::new(PipelineConfig::new(120, 4, 4).unwrap());
+//! let report = pipeline.density_anomalies(data.series.values(), 3).unwrap();
+//! assert!(!report.anomalies.is_empty());
+//! ```
+
+/// Time-series substrate (series type, z-norm, windows, intervals, IO).
+pub use gv_timeseries as timeseries;
+
+/// SAX symbolic discretization.
+pub use gv_sax as sax;
+
+/// Sequitur grammar induction.
+pub use gv_sequitur as sequitur;
+
+/// Hilbert space-filling curve and trajectory transforms.
+pub use gv_hilbert as hilbert;
+
+/// Synthetic evaluation datasets with planted ground truth.
+pub use gv_datasets as datasets;
+
+/// Discord discovery substrate (brute force, HOTSAX, counted distances).
+pub use gv_discord as discord;
+
+/// The paper's contribution: rule-density and RRA anomaly discovery.
+pub use gva_core as core;
