@@ -1,0 +1,72 @@
+//! Records the first observability trajectory point: both detectors run
+//! instrumented on the synthetic sine fixture from `gva_core`'s crate doc
+//! example, and the stage-level snapshots are written to
+//! `BENCH_obs_baseline.json` (one JSONL record per detector, the same
+//! schema as the CLI's `--metrics` output).
+//!
+//! ```text
+//! cargo run -p gv-bench --release --bin obs_baseline [-- OUT.json]
+//! ```
+
+use gv_bench::report;
+use gva_core::obs::CollectingRecorder;
+use gva_core::{AnomalyPipeline, PipelineConfig};
+
+/// The `gva_core` doc-example fixture: a sine with a planted distortion.
+fn fixture() -> Vec<f64> {
+    let mut values: Vec<f64> = (0..2000).map(|i| (i as f64 / 20.0).sin()).collect();
+    for (i, v) in values[1000..1060].iter_mut().enumerate() {
+        *v = (i as f64 / 4.0).sin() * 0.3;
+    }
+    values
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs_baseline.json".to_string());
+    let values = fixture();
+    let pipeline = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).expect("valid params"));
+    let params = |trace: gva_core::obs::PipelineTrace| {
+        trace
+            .with_param("points", values.len() as u64)
+            .with_param("window", 100)
+            .with_param("paa", 5)
+            .with_param("alphabet", 4)
+            .with_param("top", 1)
+    };
+
+    let density_rec = CollectingRecorder::new();
+    let density = pipeline
+        .density_anomalies_with(&values, 1, &density_rec)
+        .expect("pipeline runs");
+    assert!(
+        !density.anomalies.is_empty(),
+        "fixture must yield a density anomaly"
+    );
+
+    let rra_rec = CollectingRecorder::new();
+    let rra = pipeline
+        .rra_discords_with(&values, 1, &rra_rec)
+        .expect("pipeline runs");
+    assert!(!rra.discords.is_empty(), "fixture must yield a discord");
+
+    let traces = [
+        params(density_rec.snapshot("obs_baseline:density")),
+        params(rra_rec.snapshot("obs_baseline:rra")),
+    ];
+
+    println!("Observability baseline — sine fixture (2000 pts, plant at 1000..1060)\n");
+    print!("{}", report::trace_section(&traces));
+    println!(
+        "density top anomaly: {}  |  rra top discord: {}..{} (d={:.4}, {} distance calls)",
+        density.anomalies[0].interval,
+        rra.discords[0].position,
+        rra.discords[0].position + rra.discords[0].length,
+        rra.discords[0].distance,
+        report::thousands(rra.stats.distance_calls as u128),
+    );
+
+    report::write_traces(std::path::Path::new(&out), &traces).expect("write baseline");
+    println!("\nwrote {} trace(s) to {out}", traces.len());
+}

@@ -2,6 +2,10 @@
 
 use std::collections::HashMap;
 
+/// Options that are switches, not `--key value` pairs: their presence
+/// alone means "on", so the parser must not consume the next token.
+const BOOL_FLAGS: &[&str] = &["trace"];
+
 /// Parsed command line: the subcommand plus `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -13,13 +17,19 @@ pub struct Args {
 impl Args {
     /// Parses `argv` (without the program name).
     ///
-    /// Every option must be of the form `--key value`; a bare `--key` at
-    /// the end of the line or followed by another flag is an error.
+    /// Every option must be of the form `--key value` — except the known
+    /// boolean switches ([`BOOL_FLAGS`]), which take no value. A bare
+    /// valued `--key` at the end of the line or followed by another flag
+    /// is an error.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
         let mut out = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    out.options.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .filter(|v| !v.starts_with("--"))
@@ -32,6 +42,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// `true` when a boolean switch was present on the command line.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// A required string option.
@@ -96,6 +111,19 @@ mod tests {
         assert_eq!(a.usize_or("top", 3).unwrap(), 3);
         assert!(a.required("file").is_err());
         assert!(a.get("nothing").is_none());
+    }
+
+    #[test]
+    fn boolean_flag_takes_no_value() {
+        let a = Args::parse(&argv("density --trace --file x.csv")).unwrap();
+        assert!(a.flag("trace"));
+        assert_eq!(a.required("file").unwrap(), "x.csv");
+        // Absent flag is simply false; valued options never read as flags
+        // they weren't given.
+        let b = Args::parse(&argv("density --file x.csv")).unwrap();
+        assert!(!b.flag("trace"));
+        // Last position works too — nothing to consume.
+        assert!(Args::parse(&argv("rra --trace")).unwrap().flag("trace"));
     }
 
     #[test]

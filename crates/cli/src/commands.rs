@@ -2,6 +2,7 @@
 
 use gv_discord::{hotsax_discords, HotSaxConfig};
 use gv_timeseries::{read_csv_column, Interval, TimeSeries};
+use gva_core::obs::{CollectingRecorder, PipelineTrace};
 use gva_core::{viz, AnomalyPipeline, PipelineConfig};
 
 use crate::args::Args;
@@ -29,6 +30,9 @@ common options:
   --alphabet A       alphabet size (default 4)
   --top K            how many anomalies/discords to report (default 3)
   --width N          plot width in characters (default 100)
+  --trace            print a per-stage timing/counter table to stderr
+                     (density/rra/demo)
+  --metrics PATH     append the run's trace as one JSONL record to PATH
   --dataset NAME     demo dataset: ecg0606 | power | video | tek14 | tek16 |
                      tek17 | nprs43 | nprs44 | commute";
 
@@ -54,6 +58,48 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
+/// All diagnostic chatter goes through here so it lands on stderr with one
+/// consistent `gv:` prefix (stdout stays parseable output only).
+fn warn(message: impl std::fmt::Display) {
+    eprintln!("gv: {message}");
+}
+
+/// An instrumentation sink when `--trace` or `--metrics` was given;
+/// `None` keeps the zero-overhead uninstrumented path.
+fn recorder_for(args: &Args) -> Option<CollectingRecorder> {
+    (args.flag("trace") || args.get("metrics").is_some()).then(CollectingRecorder::new)
+}
+
+/// Delivers a finished trace: table to stderr under `--trace`, one JSONL
+/// record appended to the `--metrics` file.
+fn emit_trace(args: &Args, trace: &PipelineTrace) -> Result<(), String> {
+    if args.flag("trace") {
+        eprint!("{}", trace.render_table());
+    }
+    if let Some(path) = args.get("metrics") {
+        trace
+            .append_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Labels a snapshot with the standard pipeline parameters.
+fn pipeline_trace(
+    rec: &CollectingRecorder,
+    label: &str,
+    p: &AnomalyPipeline,
+    points: usize,
+    k: usize,
+) -> PipelineTrace {
+    rec.snapshot(label)
+        .with_param("points", points as u64)
+        .with_param("window", p.config().window() as u64)
+        .with_param("paa", p.config().paa() as u64)
+        .with_param("alphabet", p.config().alphabet() as u64)
+        .with_param("top", k as u64)
+}
+
 fn load_series(args: &Args) -> Result<TimeSeries, String> {
     let path = args.required("file")?;
     let col = args.usize_or("column", 0)?;
@@ -69,7 +115,9 @@ fn window_for(args: &Args, series: &TimeSeries) -> Result<usize, String> {
             .map_err(|_| "--window expects an integer".to_string()),
         None => {
             let w = gv_timeseries::suggest_window(series.values());
-            eprintln!("gv: no --window given; using dominant-period suggestion {w}");
+            warn(format_args!(
+                "no --window given; using dominant-period suggestion {w}"
+            ));
             Ok(w)
         }
     }
@@ -88,9 +136,15 @@ fn density(args: &Args) -> Result<(), String> {
     let p = pipeline_for(args, &series)?;
     let k = args.usize_or("top", 3)?;
     let width = args.usize_or("width", 100)?;
-    let report = p
-        .density_anomalies(series.values(), k)
-        .map_err(|e| e.to_string())?;
+    let recorder = recorder_for(args);
+    let report = match &recorder {
+        Some(rec) => p.density_anomalies_with(series.values(), k, rec),
+        None => p.density_anomalies(series.values(), k),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(rec) = &recorder {
+        emit_trace(args, &pipeline_trace(rec, "density", &p, series.len(), k))?;
+    }
     println!("series: {} ({} points)", series.name(), series.len());
     println!("signal : {}", viz::sparkline(series.values(), width));
     println!("density: {}", viz::density_strip(&report.curve, width));
@@ -109,9 +163,15 @@ fn rra(args: &Args) -> Result<(), String> {
     let p = pipeline_for(args, &series)?;
     let k = args.usize_or("top", 3)?;
     let width = args.usize_or("width", 100)?;
-    let report = p
-        .rra_discords(series.values(), k)
-        .map_err(|e| e.to_string())?;
+    let recorder = recorder_for(args);
+    let report = match &recorder {
+        Some(rec) => p.rra_discords_with(series.values(), k, rec),
+        None => p.rra_discords(series.values(), k),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(rec) = &recorder {
+        emit_trace(args, &pipeline_trace(rec, "rra", &p, series.len(), k))?;
+    }
     println!("series: {} ({} points)", series.name(), series.len());
     println!("signal : {}", viz::sparkline(series.values(), width));
     let intervals: Vec<Interval> = report.discords.iter().map(|d| d.interval()).collect();
@@ -321,12 +381,25 @@ fn demo(args: &Args) -> Result<(), String> {
     println!("signal : {}", viz::sparkline(values, width));
     println!("truth  : {}", viz::marker_row(values.len(), &truth, width));
 
-    let density = p.density_anomalies(values, k).map_err(|e| e.to_string())?;
+    let recorder = recorder_for(args);
+    let density = match &recorder {
+        Some(rec) => p.density_anomalies_with(values, k, rec),
+        None => p.density_anomalies(values, k),
+    }
+    .map_err(|e| e.to_string())?;
     println!("density: {}", viz::density_strip(&density.curve, width));
     let d_iv: Vec<Interval> = density.anomalies.iter().map(|a| a.interval).collect();
     println!("d-hits : {}", viz::marker_row(values.len(), &d_iv, width));
 
-    let rra = p.rra_discords(values, k).map_err(|e| e.to_string())?;
+    let rra = match &recorder {
+        Some(rec) => p.rra_discords_with(values, k, rec),
+        None => p.rra_discords(values, k),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(rec) = &recorder {
+        let label = format!("demo:{name}");
+        emit_trace(args, &pipeline_trace(rec, &label, &p, values.len(), k))?;
+    }
     let r_iv: Vec<Interval> = rra.discords.iter().map(|d| d.interval()).collect();
     println!("rra    : {}", viz::marker_row(values.len(), &r_iv, width));
     println!();
@@ -418,6 +491,27 @@ mod tests {
         assert!(run(&argv(&format!("dot {base} --out {}", dot_out.display()))).is_ok());
         let dot_text = std::fs::read_to_string(&dot_out).unwrap();
         assert!(dot_text.starts_with("digraph grammar {"));
+        // Instrumented runs: --trace is stderr-only; --metrics appends one
+        // JSONL record per run.
+        let metrics = dir.join("metrics.jsonl");
+        let _ = std::fs::remove_file(&metrics);
+        assert!(run(&argv(&format!(
+            "density {base} --trace --metrics {}",
+            metrics.display()
+        )))
+        .is_ok());
+        assert!(run(&argv(&format!(
+            "rra {base} --metrics {}",
+            metrics.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"label\":\"density\""));
+        assert!(text.contains("\"label\":\"rra\""));
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}') && l.contains("\"distance_calls\":")));
     }
 
     #[test]

@@ -65,3 +65,7 @@ pub use motifs::{motifs, Motif};
 pub use pipeline::AnomalyPipeline;
 pub use rra::{nn_distance_profile, RraReport, SearchOptions};
 pub use streaming::StreamingDetector;
+
+/// Re-export of the observability crate, so downstream users can build
+/// recorders and traces without naming `gv-obs` directly.
+pub use gv_obs as obs;

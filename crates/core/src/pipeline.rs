@@ -1,5 +1,6 @@
 //! The end-to-end pipeline facade.
 
+use gv_obs::{time_stage, Counter, NoopRecorder, Recorder, Stage};
 use gv_sax::SaxDictionary;
 use gv_sequitur::Sequitur;
 
@@ -35,16 +36,40 @@ impl AnomalyPipeline {
     /// # Errors
     /// Discretization errors (window too long, etc.).
     pub fn model(&self, values: &[f64]) -> Result<GrammarModel> {
-        let records = self
-            .config
-            .sax()
-            .discretize(values, self.config.numerosity_reduction())?;
+        self.model_with(values, &NoopRecorder)
+    }
+
+    /// [`model`](Self::model) with instrumentation: stage timings
+    /// ([`Stage::Discretize`], [`Stage::Intern`], [`Stage::Induce`]) and
+    /// the discretization/induction counters go to `recorder`. The model
+    /// produced is identical to the uninstrumented one.
+    ///
+    /// # Errors
+    /// Same as [`model`](Self::model).
+    pub fn model_with<R: Recorder>(&self, values: &[f64], recorder: &R) -> Result<GrammarModel> {
+        let records = self.config.sax().discretize_with(
+            values,
+            self.config.numerosity_reduction(),
+            recorder,
+        )?;
         let mut dictionary = SaxDictionary::new();
-        let mut seq = Sequitur::new();
-        for rec in &records {
-            seq.push(dictionary.intern(&rec.word));
-        }
-        let grammar = seq.finish();
+        let tokens: Vec<_> = time_stage(recorder, Stage::Intern, || {
+            records
+                .iter()
+                .map(|rec| dictionary.intern(&rec.word))
+                .collect()
+        });
+        let grammar = time_stage(recorder, Stage::Induce, || {
+            let mut seq = Sequitur::new();
+            for tok in tokens {
+                seq.push(tok);
+            }
+            let stats = seq.stats();
+            recorder.add(Counter::RulesCreated, stats.rules_created);
+            recorder.add(Counter::RulesDeleted, stats.rules_deleted);
+            recorder.update_max(Counter::PeakDigramEntries, stats.peak_digram_entries);
+            seq.finish()
+        });
         Ok(GrammarModel {
             grammar,
             records,
@@ -62,8 +87,24 @@ impl AnomalyPipeline {
     /// # Errors
     /// Discretization errors.
     pub fn density_anomalies(&self, values: &[f64], k: usize) -> Result<DensityReport> {
-        let model = self.model(values)?;
-        Ok(RuleDensity::from_model(&model).report_trimmed(k, self.config.window()))
+        self.density_anomalies_with(values, k, &NoopRecorder)
+    }
+
+    /// [`density_anomalies`](Self::density_anomalies) with instrumentation:
+    /// adds [`Stage::Density`] timing on top of the model stages.
+    ///
+    /// # Errors
+    /// Same as [`density_anomalies`](Self::density_anomalies).
+    pub fn density_anomalies_with<R: Recorder>(
+        &self,
+        values: &[f64],
+        k: usize,
+        recorder: &R,
+    ) -> Result<DensityReport> {
+        let model = self.model_with(values, recorder)?;
+        Ok(time_stage(recorder, Stage::Density, || {
+            RuleDensity::from_model(&model).report_trimmed(k, self.config.window())
+        }))
     }
 
     /// Runs the RRA detector (§4.2): returns up to `k` ranked
@@ -73,8 +114,23 @@ impl AnomalyPipeline {
     /// Discretization errors; [`crate::Error::NoCandidates`] when the
     /// grammar yields no usable candidate intervals.
     pub fn rra_discords(&self, values: &[f64], k: usize) -> Result<RraReport> {
-        let model = self.model(values)?;
-        rra::discords(values, &model, k, self.config.seed())
+        self.rra_discords_with(values, k, &NoopRecorder)
+    }
+
+    /// [`rra_discords`](Self::rra_discords) with instrumentation: the
+    /// model stages plus the RRA search counters and
+    /// [`Stage::RraOuter`]/[`Stage::RraInner`] timings go to `recorder`.
+    ///
+    /// # Errors
+    /// Same as [`rra_discords`](Self::rra_discords).
+    pub fn rra_discords_with<R: Recorder>(
+        &self,
+        values: &[f64],
+        k: usize,
+        recorder: &R,
+    ) -> Result<RraReport> {
+        let model = self.model_with(values, recorder)?;
+        rra::discords_with(values, &model, k, self.config.seed(), recorder)
     }
 }
 
@@ -140,5 +196,67 @@ mod tests {
     fn too_short_series_errors() {
         let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
         assert!(p.model(&[0.0; 50]).is_err());
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_fills_every_stage() {
+        use gv_obs::{Counter, LocalRecorder, Stage};
+        let v = planted_series();
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        let rec = LocalRecorder::new();
+
+        let plain = p.rra_discords(&v, 2).unwrap();
+        let instrumented = p.rra_discords_with(&v, 2, &rec).unwrap();
+        assert_eq!(plain.discords.len(), instrumented.discords.len());
+        for (a, b) in plain.discords.iter().zip(&instrumented.discords) {
+            assert_eq!(a.position, b.position);
+            assert_eq!(a.length, b.length);
+            assert!((a.distance - b.distance).abs() < 1e-12);
+        }
+        assert_eq!(plain.stats, instrumented.stats);
+
+        // SearchStats and the recorder are one counting path.
+        assert_eq!(
+            rec.counter(Counter::DistanceCalls),
+            instrumented.stats.distance_calls
+        );
+        assert_eq!(
+            rec.counter(Counter::EarlyAbandons),
+            instrumented.stats.early_abandoned
+        );
+        assert_eq!(
+            rec.counter(Counter::CandidatesPruned),
+            instrumented.stats.candidates_pruned
+        );
+        assert_eq!(
+            rec.counter(Counter::CandidatesCompleted),
+            instrumented.stats.candidates_completed
+        );
+
+        // Every pipeline stage saw the clock.
+        for stage in [
+            Stage::Discretize,
+            Stage::Intern,
+            Stage::Induce,
+            Stage::RraOuter,
+        ] {
+            assert!(rec.stage_nanos(stage) > 0, "{stage:?} not timed");
+        }
+        // Sliding-window accounting adds up.
+        assert_eq!(rec.counter(Counter::WindowsProcessed), 3000 - 100 + 1);
+        assert_eq!(
+            rec.counter(Counter::WordsEmitted) + rec.counter(Counter::WordsDropped),
+            rec.counter(Counter::WindowsProcessed)
+        );
+        assert!(rec.counter(Counter::RulesCreated) > 1);
+        assert!(rec.counter(Counter::PeakDigramEntries) > 0);
+
+        // Density path times its own stage.
+        let drec = LocalRecorder::new();
+        let d1 = p.density_anomalies(&v, 1).unwrap();
+        let d2 = p.density_anomalies_with(&v, 1, &drec).unwrap();
+        assert_eq!(d1.curve, d2.curve);
+        assert_eq!(d1.anomalies.len(), d2.anomalies.len());
+        assert!(drec.stage_nanos(Stage::Density) > 0);
     }
 }

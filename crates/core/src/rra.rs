@@ -16,8 +16,10 @@
 //! resampled onto the candidate's length, normalized by that length.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use gv_discord::{DiscordRecord, DistanceMeter, SearchStats};
+use gv_discord::{distance, DiscordRecord, SearchStats};
+use gv_obs::{Counter, LocalRecorder, NoopRecorder, Recorder, Stage};
 use gv_sequitur::RuleId;
 use gv_timeseries::{resample_to, znorm, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
@@ -53,10 +55,33 @@ pub struct RraReport {
 /// [`Error::NoCandidates`] when the grammar yields fewer than two
 /// candidate intervals (nothing to compare).
 pub fn discords(values: &[f64], model: &GrammarModel, k: usize, seed: u64) -> Result<RraReport> {
+    discords_with(values, model, k, seed, &NoopRecorder)
+}
+
+/// [`discords`] with instrumentation: the search publishes its counters
+/// (distance calls, early abandons, pruning outcomes) and the
+/// [`Stage::RraOuter`]/[`Stage::RraInner`] timings to `recorder`.
+///
+/// # Errors
+/// Same as [`discords`].
+pub fn discords_with<R: Recorder>(
+    values: &[f64],
+    model: &GrammarModel,
+    k: usize,
+    seed: u64,
+    recorder: &R,
+) -> Result<RraReport> {
     let mut candidates = rule_intervals(model);
     let len = model.series_len;
     candidates.retain(|c| c.rule.is_some() || (c.interval.start > 0 && c.interval.end < len));
-    discords_from_intervals(values, &candidates, k, seed)
+    discords_with_options_recorded(
+        values,
+        &candidates,
+        k,
+        seed,
+        SearchOptions::default(),
+        recorder,
+    )
 }
 
 /// Ablation switches for the Algorithm 1 search. The defaults are the
@@ -110,9 +135,36 @@ pub fn discords_with_options(
     seed: u64,
     options: SearchOptions,
 ) -> Result<RraReport> {
+    discords_with_options_recorded(values, candidates, k, seed, options, &NoopRecorder)
+}
+
+/// The fully-parameterized Algorithm 1 entry point: explicit candidates,
+/// [`SearchOptions`], and a [`Recorder`] sink.
+///
+/// Counting happens exactly once, in a search-local [`LocalRecorder`] the
+/// distance kernels increment directly; [`SearchStats`] is derived from it
+/// and its totals are merged into `recorder` at the end, so the stats and
+/// the recorder can never disagree. Stage timings ([`Stage::RraOuter`] for
+/// the whole search, [`Stage::RraInner`] for the nested nearest-neighbor
+/// loops) are only measured when `recorder` is enabled — with a
+/// [`NoopRecorder`] the clock is never read.
+///
+/// # Errors
+/// [`Error::NoCandidates`] when fewer than two candidates are supplied.
+pub fn discords_with_options_recorded<R: Recorder>(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    k: usize,
+    seed: u64,
+    options: SearchOptions,
+    recorder: &R,
+) -> Result<RraReport> {
     if candidates.len() < 2 {
         return Err(Error::NoCandidates);
     }
+    let local = LocalRecorder::new();
+    let timing = recorder.enabled();
+    let outer_started = timing.then(Instant::now);
     let mut rng = StdRng::seed_from_u64(seed);
     let n = candidates.len();
 
@@ -135,8 +187,6 @@ pub fn discords_with_options(
     let mut inner: Vec<usize> = (0..n).collect();
     inner.shuffle(&mut rng);
 
-    let mut meter = DistanceMeter::new();
-    let mut stats = SearchStats::default();
     let mut found: Vec<DiscordRecord> = Vec::new();
 
     // Reusable buffers; lengths vary per candidate.
@@ -171,6 +221,7 @@ pub fn discords_with_options(
                     continue;
                 }
             }
+            local.incr(Counter::RraCandidates);
             let p_z = znorm(
                 &values[p.interval.start..p.interval.end],
                 DEFAULT_ZNORM_THRESHOLD,
@@ -178,6 +229,7 @@ pub fn discords_with_options(
 
             let mut nearest = f64::INFINITY;
             let mut pruned = false;
+            let inner_started = timing.then(Instant::now);
 
             // Inner phase 1: same-rule siblings.
             if options.siblings_first {
@@ -196,7 +248,7 @@ pub fn discords_with_options(
                             q,
                             &mut buf_q,
                             &mut buf_q_rs,
-                            &mut meter,
+                            &local,
                             &mut nearest,
                             options.early_abandon,
                         );
@@ -228,7 +280,7 @@ pub fn discords_with_options(
                         q,
                         &mut buf_q,
                         &mut buf_q_rs,
-                        &mut meter,
+                        &local,
                         &mut nearest,
                         options.early_abandon,
                     );
@@ -239,11 +291,14 @@ pub fn discords_with_options(
                 }
             }
 
+            if let Some(started) = inner_started {
+                local.record_duration(Stage::RraInner, started.elapsed().as_nanos() as u64);
+            }
             if pruned {
-                stats.candidates_pruned += 1;
+                local.incr(Counter::CandidatesPruned);
                 continue;
             }
-            stats.candidates_completed += 1;
+            local.incr(Counter::CandidatesCompleted);
             if nearest.is_finite() && nearest > best_dist {
                 best_dist = nearest;
                 best = Some(p);
@@ -261,8 +316,18 @@ pub fn discords_with_options(
         }
     }
 
-    stats.distance_calls = meter.calls();
-    stats.early_abandoned = meter.abandoned();
+    if let Some(started) = outer_started {
+        // The full search time; RraInner nests inside it, and the trace's
+        // total skips nested stages so nothing double-counts.
+        local.record_duration(Stage::RraOuter, started.elapsed().as_nanos() as u64);
+    }
+    let stats = SearchStats {
+        distance_calls: local.counter(Counter::DistanceCalls),
+        early_abandoned: local.counter(Counter::EarlyAbandons),
+        candidates_pruned: local.counter(Counter::CandidatesPruned),
+        candidates_completed: local.counter(Counter::CandidatesCompleted),
+    };
+    local.merge_into(recorder);
     Ok(RraReport {
         discords: found,
         stats,
@@ -280,13 +345,13 @@ fn admissible(p: &RuleInterval, q: &RuleInterval) -> bool {
 /// `p`'s length, take the Eq. (1) distance with early abandoning against
 /// the current `nearest`.
 #[allow(clippy::too_many_arguments)]
-fn evaluate(
+fn evaluate<R: Recorder>(
     values: &[f64],
     p_z: &[f64],
     q: &RuleInterval,
     buf_q: &mut Vec<f64>,
     buf_q_rs: &mut Vec<f64>,
-    meter: &mut DistanceMeter,
+    recorder: &R,
     nearest: &mut f64,
     early_abandon: bool,
 ) {
@@ -303,24 +368,37 @@ fn evaluate(
     } else {
         f64::INFINITY
     };
-    if let Some(d) = meter.normalized_euclidean_early(p_z, buf_q_rs, abandon_at) {
+    if let Some(d) = distance::normalized_euclidean_early(recorder, p_z, buf_q_rs, abandon_at) {
         if d < *nearest {
             *nearest = d;
         }
     }
 }
 
-/// Exact nearest-non-self-match distance for *every* candidate — the
-/// vertical-line profiles in the bottom panels of Figures 2, 3 and 7.
+/// Exact nearest-non-self-match distance for every searchable candidate —
+/// the vertical-line profiles in the bottom panels of Figures 2, 3 and 7.
 /// Quadratic in the candidate count; intended for figure-sized inputs.
+///
+/// Applies the same tandem-repeat guard as the Algorithm 1 search: a rule
+/// candidate whose every same-rule sibling is a self-match is excluded
+/// (the search never considers it an outer candidate, so including it here
+/// would make the profile's maximum disagree with the search's result).
 pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(Interval, f64)> {
-    let mut meter = DistanceMeter::new();
     let mut buf_q = Vec::new();
     let mut buf_q_rs = Vec::new();
     let mut out = Vec::with_capacity(candidates.len());
     for (pi, p) in candidates.iter().enumerate() {
         if p.interval.is_empty() {
             continue;
+        }
+        if let Some(r) = p.rule {
+            let has_admissible_sibling = candidates
+                .iter()
+                .enumerate()
+                .any(|(qi, q)| qi != pi && q.rule == Some(r) && admissible(p, q));
+            if !has_admissible_sibling {
+                continue;
+            }
         }
         let p_z = znorm(
             &values[p.interval.start..p.interval.end],
@@ -337,7 +415,7 @@ pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(
                 q,
                 &mut buf_q,
                 &mut buf_q_rs,
-                &mut meter,
+                &NoopRecorder,
                 &mut nearest,
                 true,
             );

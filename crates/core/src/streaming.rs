@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use gv_obs::{time_stage, Counter, NoopRecorder, Recorder, Stage};
 use gv_sax::{NumerosityReduction, SaxDictionary, SaxRecord};
 use gv_sequitur::Sequitur;
 use gv_timeseries::{CoverageCounter, Interval};
@@ -38,7 +39,7 @@ use crate::model::GrammarModel;
 /// assert!(alerts.iter().any(|iv| iv.start >= 800 && iv.end <= 1100));
 /// ```
 #[derive(Debug)]
-pub struct StreamingDetector {
+pub struct StreamingDetector<R: Recorder = NoopRecorder> {
     config: PipelineConfig,
     /// Rolling buffer holding the last `window` points.
     buffer: VecDeque<f64>,
@@ -48,11 +49,23 @@ pub struct StreamingDetector {
     sequitur: Sequitur,
     /// Surviving records (post numerosity reduction), like the batch model.
     records: Vec<SaxRecord>,
+    recorder: R,
 }
 
-impl StreamingDetector {
+impl StreamingDetector<NoopRecorder> {
     /// Creates a detector; no data is required up front.
     pub fn new(config: PipelineConfig) -> Self {
+        Self::with_recorder(config, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> StreamingDetector<R> {
+    /// A detector that publishes per-push counters
+    /// ([`Counter::WindowsProcessed`], [`Counter::WordsEmitted`],
+    /// [`Counter::WordsDropped`]) and [`Stage::Density`] timings to
+    /// `recorder`. [`new`](StreamingDetector::new) is this with a
+    /// [`NoopRecorder`].
+    pub fn with_recorder(config: PipelineConfig, recorder: R) -> Self {
         Self {
             config,
             buffer: VecDeque::new(),
@@ -60,7 +73,13 @@ impl StreamingDetector {
             dictionary: SaxDictionary::new(),
             sequitur: Sequitur::new(),
             records: Vec::new(),
+            recorder,
         }
+    }
+
+    /// The recorder this detector reports into.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// The configuration in use.
@@ -105,6 +124,7 @@ impl StreamingDetector {
             .sax()
             .word(&slice)
             .expect("window buffer is non-empty by construction");
+        self.recorder.incr(Counter::WindowsProcessed);
         let keep = match self.records.last() {
             Some(last) => match self.config.numerosity_reduction() {
                 NumerosityReduction::None => true,
@@ -114,8 +134,11 @@ impl StreamingDetector {
             None => true,
         };
         if keep {
+            self.recorder.incr(Counter::WordsEmitted);
             self.sequitur.push(self.dictionary.intern(&word));
             self.records.push(SaxRecord { word, offset });
+        } else {
+            self.recorder.incr(Counter::WordsDropped);
         }
     }
 
@@ -135,7 +158,7 @@ impl StreamingDetector {
 
     /// The rule-density curve over all points seen so far.
     pub fn density_curve(&self) -> Vec<i64> {
-        match self.model() {
+        time_stage(&self.recorder, Stage::Density, || match self.model() {
             Ok(model) => {
                 let mut cc = CoverageCounter::new(model.series_len);
                 for occ in model.grammar.occurrences() {
@@ -144,7 +167,7 @@ impl StreamingDetector {
                 cc.finish()
             }
             Err(_) => Vec::new(),
-        }
+        })
     }
 
     /// Early-detection alerts: maximal runs of points whose density is
@@ -278,5 +301,32 @@ mod tests {
             "alert must not vanish as the stream grows"
         );
         assert!(hit(&later), "mature anomaly must be alerted: {later:?}");
+    }
+
+    #[test]
+    fn recorder_counts_streamed_windows() {
+        use gv_obs::LocalRecorder;
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut plain = StreamingDetector::new(config.clone());
+        let mut counted = StreamingDetector::with_recorder(config, LocalRecorder::new());
+        for i in 0..800usize {
+            let v = (i as f64 / 12.0).sin();
+            plain.push(v);
+            counted.push(v);
+        }
+        // Instrumentation must not change the stream model.
+        assert_eq!(plain.num_tokens(), counted.num_tokens());
+        assert_eq!(plain.density_curve(), counted.density_curve());
+        let rec = counted.recorder();
+        assert_eq!(rec.counter(Counter::WindowsProcessed), 800 - 50 + 1);
+        assert_eq!(
+            rec.counter(Counter::WordsEmitted),
+            counted.num_tokens() as u64
+        );
+        assert_eq!(
+            rec.counter(Counter::WordsEmitted) + rec.counter(Counter::WordsDropped),
+            rec.counter(Counter::WindowsProcessed)
+        );
+        assert!(rec.stage_nanos(Stage::Density) > 0);
     }
 }

@@ -8,6 +8,7 @@
 //! series was). RRA's success region is roughly twice the density
 //! detector's.
 
+use gv_obs::{NoopRecorder, Recorder};
 use gv_sax::reconstruction_error;
 use gv_timeseries::Interval;
 use serde::{Deserialize, Serialize};
@@ -76,6 +77,19 @@ impl SweepGrid {
 /// ground-truth anomaly interval; a detector "hits" when its top report
 /// overlaps the truth widened by `slack` points.
 pub fn run(values: &[f64], truth: Interval, slack: usize, grid: &SweepGrid) -> Vec<SweepPoint> {
+    run_with(values, truth, slack, grid, &NoopRecorder)
+}
+
+/// [`run`] with instrumentation: every grid point's pipeline stages and
+/// search counters accumulate into `recorder`, giving aggregate cost
+/// numbers for the whole sweep.
+pub fn run_with<R: Recorder>(
+    values: &[f64],
+    truth: Interval,
+    slack: usize,
+    grid: &SweepGrid,
+    recorder: &R,
+) -> Vec<SweepPoint> {
     let wide_truth = Interval::new(
         truth.start.saturating_sub(slack),
         (truth.end + slack).min(values.len()),
@@ -87,7 +101,7 @@ pub fn run(values: &[f64], truth: Interval, slack: usize, grid: &SweepGrid) -> V
                 continue;
             }
             for &a in &grid.alphabets {
-                if let Ok(point) = evaluate_one(values, wide_truth, w, p, a) {
+                if let Ok(point) = evaluate_one(values, wide_truth, w, p, a, recorder) {
                     out.push(point);
                 }
             }
@@ -97,7 +111,7 @@ pub fn run(values: &[f64], truth: Interval, slack: usize, grid: &SweepGrid) -> V
 }
 
 /// [`run`] with the grid points fanned out over `threads` worker threads
-/// (crossbeam scoped threads; grid points are independent, so results are
+/// (std scoped threads; grid points are independent, so results are
 /// identical to the serial run up to ordering — this function restores the
 /// serial `(window, paa, alphabet)` ordering before returning).
 ///
@@ -109,8 +123,25 @@ pub fn run_parallel(
     grid: &SweepGrid,
     threads: usize,
 ) -> Vec<SweepPoint> {
+    run_parallel_with(values, truth, slack, grid, threads, &NoopRecorder)
+}
+
+/// [`run_parallel`] with instrumentation. `recorder` is shared by
+/// reference across the worker threads, so it must be `Sync` — use a
+/// [`CollectingRecorder`](gv_obs::CollectingRecorder) (atomics), not a
+/// `LocalRecorder`. Counter totals match the serial [`run_with`]; stage
+/// *timings* are summed across workers and therefore exceed wall-clock
+/// time under parallelism.
+pub fn run_parallel_with<R: Recorder + Sync>(
+    values: &[f64],
+    truth: Interval,
+    slack: usize,
+    grid: &SweepGrid,
+    threads: usize,
+    recorder: &R,
+) -> Vec<SweepPoint> {
     if threads <= 1 {
-        return run(values, truth, slack, grid);
+        return run_with(values, truth, slack, grid, recorder);
     }
     let wide_truth = Interval::new(
         truth.start.saturating_sub(slack),
@@ -129,14 +160,14 @@ pub fn run_parallel(
         }
     }
     let mut results: Vec<Vec<SweepPoint>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let combos = &combos;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut mine = Vec::new();
                     for &(w, p, a) in combos.iter().skip(t).step_by(threads) {
-                        if let Ok(point) = evaluate_one(values, wide_truth, w, p, a) {
+                        if let Ok(point) = evaluate_one(values, wide_truth, w, p, a, recorder) {
                             mine.push(point);
                         }
                     }
@@ -147,8 +178,7 @@ pub fn run_parallel(
         for h in handles {
             results.push(h.join().expect("sweep worker panicked"));
         }
-    })
-    .expect("sweep scope panicked");
+    });
     let mut out: Vec<SweepPoint> = results.into_iter().flatten().collect();
     // Restore the serial ordering so callers see deterministic output.
     out.sort_by_key(|p| {
@@ -172,16 +202,17 @@ pub fn run_parallel(
     out
 }
 
-fn evaluate_one(
+fn evaluate_one<R: Recorder>(
     values: &[f64],
     wide_truth: Interval,
     w: usize,
     p: usize,
     a: usize,
+    recorder: &R,
 ) -> Result<SweepPoint> {
     let config = PipelineConfig::new(w, p, a)?;
     let pipeline = AnomalyPipeline::new(config);
-    let model = pipeline.model(values)?;
+    let model = pipeline.model_with(values, recorder)?;
 
     let density = RuleDensity::from_model(&model).report(1);
     let density_hit = density
@@ -189,7 +220,7 @@ fn evaluate_one(
         .first()
         .is_some_and(|an| an.interval.overlaps(&wide_truth));
 
-    let rra_hit = match rra::discords(values, &model, 1, 0) {
+    let rra_hit = match rra::discords_with(values, &model, 1, 0, recorder) {
         Ok(report) => report
             .discords
             .first()
@@ -288,6 +319,33 @@ mod tests {
         for threads in [0, 1, 2, 3, 7] {
             let parallel = run_parallel(&v, truth, 100, &grid, threads);
             assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recorded_sweep_counters_are_thread_count_invariant() {
+        use gv_obs::{CollectingRecorder, Counter};
+        let (v, truth) = planted();
+        let grid = SweepGrid {
+            windows: vec![60, 100],
+            paas: vec![4],
+            alphabets: vec![3, 4],
+        };
+        let serial_rec = CollectingRecorder::new();
+        let serial = run_with(&v, truth, 100, &grid, &serial_rec);
+        let parallel_rec = CollectingRecorder::new();
+        let parallel = run_parallel_with(&v, truth, 100, &grid, 3, &parallel_rec);
+        assert_eq!(serial, parallel);
+        assert!(serial_rec.counter(Counter::DistanceCalls) > 0);
+        // Deterministic work → identical counter totals whatever the
+        // thread count (timings differ; counters must not).
+        for c in Counter::ALL {
+            assert_eq!(
+                serial_rec.counter(c),
+                parallel_rec.counter(c),
+                "counter {} diverged under parallelism",
+                c.name()
+            );
         }
     }
 

@@ -1,14 +1,103 @@
 //! Counted, early-abandoning distance computation.
 //!
 //! Every entry into a distance routine — even one abandoned after a few
-//! points — increments the meter, reproducing the paper's cost metric
-//! ("number of calls to the distance function", Table 1).
+//! points — increments [`Counter::DistanceCalls`] on the supplied
+//! recorder, reproducing the paper's cost metric ("number of calls to the
+//! distance function", Table 1). The kernels are free functions generic
+//! over [`Recorder`], so a search can count into whatever sink it owns;
+//! [`DistanceMeter`] wraps a [`LocalRecorder`] for the common
+//! single-threaded case and is the *only* counting path — its accessors
+//! read the recorder rather than keeping parallel tallies.
 
-/// A distance-call meter with early-abandoning Euclidean kernels.
+use gv_obs::{Counter, LocalRecorder, Recorder};
+
+/// Full Euclidean distance between equal-length slices, counted as one
+/// distance call on `recorder`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn euclidean<R: Recorder>(recorder: &R, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    recorder.incr(Counter::DistanceCalls);
+    let mut sum = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+/// Early-abandoning Euclidean distance: returns `None` as soon as the
+/// running sum of squares proves the distance is `>= abandon_at`
+/// (the caller's current pruning threshold). Still counts as one call;
+/// abandoned calls additionally increment [`Counter::EarlyAbandons`].
+///
+/// With `abandon_at = f64::INFINITY` this never abandons.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn euclidean_early<R: Recorder>(
+    recorder: &R,
+    a: &[f64],
+    b: &[f64],
+    abandon_at: f64,
+) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
+    recorder.incr(Counter::DistanceCalls);
+    let limit_sq = if abandon_at.is_finite() {
+        abandon_at * abandon_at
+    } else {
+        f64::INFINITY
+    };
+    let mut sum = 0.0;
+    // Check the bound every few points: branch less in the hot loop.
+    const STRIDE: usize = 8;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let hi = (i + STRIDE).min(n);
+        while i < hi {
+            let d = a[i] - b[i];
+            sum += d * d;
+            i += 1;
+        }
+        if sum >= limit_sq {
+            recorder.incr(Counter::EarlyAbandons);
+            return None;
+        }
+    }
+    Some(sum.sqrt())
+}
+
+/// Early-abandoning **length-normalized** Euclidean distance — the
+/// paper's Eq. (1): `sqrt(Σ (p_i − q_i)²) / len(p)`, which "favors
+/// shorter subsequences for the same distance value". Abandons (and
+/// returns `None`) once the normalized distance provably reaches
+/// `abandon_at`.
+///
+/// # Panics
+/// Panics on length mismatch or empty slices.
+pub fn normalized_euclidean_early<R: Recorder>(
+    recorder: &R,
+    a: &[f64],
+    b: &[f64],
+    abandon_at: f64,
+) -> Option<f64> {
+    assert!(!a.is_empty(), "normalized distance of empty subsequence");
+    let len = a.len() as f64;
+    let raw_limit = if abandon_at.is_finite() {
+        abandon_at * len
+    } else {
+        f64::INFINITY
+    };
+    euclidean_early(recorder, a, b, raw_limit).map(|d| d / len)
+}
+
+/// A distance-call meter: a [`LocalRecorder`] dressed up with the kernel
+/// methods, for searches that own their counting.
 #[derive(Debug, Clone, Default)]
 pub struct DistanceMeter {
-    calls: u64,
-    abandoned: u64,
+    recorder: LocalRecorder,
 }
 
 impl DistanceMeter {
@@ -19,99 +108,50 @@ impl DistanceMeter {
 
     /// Total distance-function calls so far (completed + abandoned).
     pub fn calls(&self) -> u64 {
-        self.calls
+        self.recorder.counter(Counter::DistanceCalls)
     }
 
     /// How many of those calls were abandoned early.
     pub fn abandoned(&self) -> u64 {
-        self.abandoned
+        self.recorder.counter(Counter::EarlyAbandons)
     }
 
     /// Resets both counters.
     pub fn reset(&mut self) {
-        self.calls = 0;
-        self.abandoned = 0;
+        self.recorder.reset();
     }
 
-    /// Full Euclidean distance between equal-length slices.
-    ///
-    /// # Panics
-    /// Panics on length mismatch.
+    /// The backing recorder — e.g. to
+    /// [`merge_into`](LocalRecorder::merge_into) a caller's sink.
+    pub fn recorder(&self) -> &LocalRecorder {
+        &self.recorder
+    }
+
+    /// See [`euclidean`].
     pub fn euclidean(&mut self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
-        self.calls += 1;
-        let mut sum = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            let d = x - y;
-            sum += d * d;
-        }
-        sum.sqrt()
+        euclidean(&self.recorder, a, b)
     }
 
-    /// Early-abandoning Euclidean distance: returns `None` as soon as the
-    /// running sum of squares proves the distance is `>= abandon_at`
-    /// (the caller's current pruning threshold). Still counts as one call.
-    ///
-    /// With `abandon_at = f64::INFINITY` this never abandons.
-    ///
-    /// # Panics
-    /// Panics on length mismatch.
+    /// See [`euclidean_early`].
     pub fn euclidean_early(&mut self, a: &[f64], b: &[f64], abandon_at: f64) -> Option<f64> {
-        assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
-        self.calls += 1;
-        let limit_sq = if abandon_at.is_finite() {
-            abandon_at * abandon_at
-        } else {
-            f64::INFINITY
-        };
-        let mut sum = 0.0;
-        // Check the bound every few points: branch less in the hot loop.
-        const STRIDE: usize = 8;
-        let mut i = 0;
-        let n = a.len();
-        while i < n {
-            let hi = (i + STRIDE).min(n);
-            while i < hi {
-                let d = a[i] - b[i];
-                sum += d * d;
-                i += 1;
-            }
-            if sum >= limit_sq {
-                self.abandoned += 1;
-                return None;
-            }
-        }
-        Some(sum.sqrt())
+        euclidean_early(&self.recorder, a, b, abandon_at)
     }
 
-    /// Early-abandoning **length-normalized** Euclidean distance — the
-    /// paper's Eq. (1): `sqrt(Σ (p_i − q_i)²) / len(p)`, which "favors
-    /// shorter subsequences for the same distance value". Abandons (and
-    /// returns `None`) once the normalized distance provably reaches
-    /// `abandon_at`.
-    ///
-    /// # Panics
-    /// Panics on length mismatch or empty slices.
+    /// See [`normalized_euclidean_early`].
     pub fn normalized_euclidean_early(
         &mut self,
         a: &[f64],
         b: &[f64],
         abandon_at: f64,
     ) -> Option<f64> {
-        assert!(!a.is_empty(), "normalized distance of empty subsequence");
-        let len = a.len() as f64;
-        let raw_limit = if abandon_at.is_finite() {
-            abandon_at * len
-        } else {
-            f64::INFINITY
-        };
-        self.euclidean_early(a, b, raw_limit).map(|d| d / len)
+        normalized_euclidean_early(&self.recorder, a, b, abandon_at)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gv_obs::NoopRecorder;
 
     #[test]
     fn plain_euclidean() {
@@ -189,6 +229,28 @@ mod tests {
         m.reset();
         assert_eq!(m.calls(), 0);
         assert_eq!(m.abandoned(), 0);
+    }
+
+    #[test]
+    fn free_kernels_work_against_any_recorder() {
+        // Noop: result identical, nothing counted anywhere.
+        let d = euclidean(&NoopRecorder, &[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 5.0).abs() < 1e-12);
+        // Local: counts match the meter's for the same call sequence.
+        let rec = LocalRecorder::new();
+        assert!(euclidean_early(&rec, &[0.0], &[5.0], 1.0).is_none());
+        assert!(euclidean_early(&rec, &[0.0], &[5.0], 100.0).is_some());
+        assert_eq!(rec.counter(Counter::DistanceCalls), 2);
+        assert_eq!(rec.counter(Counter::EarlyAbandons), 1);
+    }
+
+    #[test]
+    fn meter_exposes_its_recorder() {
+        let mut m = DistanceMeter::new();
+        m.euclidean(&[1.0], &[2.0]);
+        let sink = LocalRecorder::new();
+        m.recorder().merge_into(&sink);
+        assert_eq!(sink.counter(Counter::DistanceCalls), 1);
     }
 
     #[test]

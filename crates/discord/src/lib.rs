@@ -27,7 +27,7 @@
 //! ```
 
 mod brute;
-mod distance;
+pub mod distance;
 mod error;
 mod hotsax;
 mod multi_length;

@@ -1,0 +1,134 @@
+//! [`CollectingRecorder`]: the shareable, thread-safe recorder.
+
+use crate::recorder::Recorder;
+use crate::stage::{Counter, Stage};
+use crate::trace::PipelineTrace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomics-backed recorder behind an `Arc`: `Clone` hands out another
+/// handle to the same tallies, so the parallel sweep's worker threads (and
+/// any future async runners) can all feed one sink. All operations use
+/// relaxed ordering — counters are statistics, not synchronization.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingRecorder {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: [AtomicU64; Counter::COUNT],
+    stages: [AtomicU64; Stage::COUNT],
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stages: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl CollectingRecorder {
+    /// A recorder with all counters and timers at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Accumulated nanoseconds for one stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.inner.stages[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter and timer to zero.
+    pub fn reset(&self) {
+        for c in &self.inner.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for s in &self.inner.stages {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the current state into a labelled [`PipelineTrace`].
+    pub fn snapshot(&self, label: impl Into<String>) -> PipelineTrace {
+        PipelineTrace {
+            label: label.into(),
+            params: Vec::new(),
+            stage_nanos: std::array::from_fn(|i| self.inner.stages[i].load(Ordering::Relaxed)),
+            counters: std::array::from_fn(|i| self.inner.counters[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        self.inner.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn update_max(&self, counter: Counter, value: u64) {
+        self.inner.counters[counter.index()].fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_duration(&self, stage: Stage, nanos: u64) {
+        self.inner.stages[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_tallies() {
+        let rec = CollectingRecorder::new();
+        let other = rec.clone();
+        rec.add(Counter::DistanceCalls, 2);
+        other.add(Counter::DistanceCalls, 3);
+        assert_eq!(rec.counter(Counter::DistanceCalls), 5);
+        rec.update_max(Counter::PeakDigramEntries, 4);
+        other.update_max(Counter::PeakDigramEntries, 2);
+        assert_eq!(other.counter(Counter::PeakDigramEntries), 4);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_counts() {
+        let rec = CollectingRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        handle.incr(Counter::RraCandidates);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::RraCandidates), 40_000);
+    }
+
+    #[test]
+    fn snapshot_captures_stages() {
+        let rec = CollectingRecorder::new();
+        rec.record_duration(Stage::Discretize, 1_000);
+        rec.record_duration(Stage::Discretize, 500);
+        let trace = rec.snapshot("t");
+        assert_eq!(trace.stage_nanos(Stage::Discretize), 1_500);
+        rec.reset();
+        assert_eq!(rec.stage_nanos(Stage::Discretize), 0);
+    }
+}

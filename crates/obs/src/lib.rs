@@ -1,0 +1,51 @@
+//! # gv-obs — zero-overhead pipeline instrumentation
+//!
+//! Stage timers, hot-path counters, and JSONL trace export for the
+//! SAX → Sequitur → density/RRA anomaly pipeline.
+//!
+//! The crate is deliberately **std-only and dependency-free**: it sits
+//! under every other crate in the workspace, including the innermost
+//! distance kernels, and must never drag a serialization or logging stack
+//! into those builds (the build environment also resolves crates offline,
+//! so the JSON encoding is hand-rolled in [`trace`]).
+//!
+//! ## Design
+//!
+//! Instrumented code is generic over a [`Recorder`]. The default
+//! [`NoopRecorder`] has empty `#[inline]` methods and reports
+//! `enabled() == false`, so after monomorphization an uninstrumented call
+//! compiles to exactly the uninstrumented code — no branches, no
+//! `Instant::now()`, no atomic traffic on the hot path. Two real
+//! recorders cover the two sharing patterns in the workspace:
+//!
+//! - [`LocalRecorder`] — `Cell`-based, for single-threaded hot loops
+//!   (plain register arithmetic, same cost as an ad-hoc `u64` counter);
+//! - [`CollectingRecorder`] — atomics behind an `Arc`, cloneable across
+//!   the parallel sweep's worker threads.
+//!
+//! A finished run is snapshotted into a [`PipelineTrace`], which renders
+//! either as a text table (CLI `--trace`) or as a single JSONL line
+//! (CLI `--metrics`, bench trajectory files).
+//!
+//! ```
+//! use gv_obs::{time_stage, Counter, LocalRecorder, Recorder, Stage};
+//!
+//! let rec = LocalRecorder::new();
+//! let sum: u64 = time_stage(&rec, Stage::Density, || (0..10u64).sum());
+//! rec.add(Counter::DistanceCalls, sum);
+//! let trace = rec.snapshot("example");
+//! assert_eq!(trace.counter(Counter::DistanceCalls), 45);
+//! assert!(trace.to_jsonl().contains("\"distance_calls\":45"));
+//! ```
+
+mod collecting;
+mod local;
+mod recorder;
+mod stage;
+mod trace;
+
+pub use collecting::CollectingRecorder;
+pub use local::LocalRecorder;
+pub use recorder::{time_stage, NoopRecorder, Recorder};
+pub use stage::{Counter, Stage};
+pub use trace::PipelineTrace;

@@ -1,0 +1,142 @@
+//! [`LocalRecorder`]: the single-threaded recorder for hot loops.
+
+use crate::recorder::Recorder;
+use crate::stage::{Counter, Stage};
+use crate::trace::PipelineTrace;
+use std::cell::Cell;
+
+/// A `Cell`-backed recorder: increments are plain loads and stores, so
+/// counting inside a tight loop costs the same as maintaining an ad-hoc
+/// `u64` — which is exactly what the distance kernels did before this
+/// crate existed.
+///
+/// Not `Sync`; use [`CollectingRecorder`](crate::CollectingRecorder) when
+/// threads share a sink.
+#[derive(Debug, Clone, Default)]
+pub struct LocalRecorder {
+    counters: [Cell<u64>; Counter::COUNT],
+    stages: [Cell<u64>; Stage::COUNT],
+}
+
+impl LocalRecorder {
+    /// A recorder with all counters and timers at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].get()
+    }
+
+    /// Accumulated nanoseconds for one stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stages[stage.index()].get()
+    }
+
+    /// Resets every counter and timer to zero.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.set(0);
+        }
+        for s in &self.stages {
+            s.set(0);
+        }
+    }
+
+    /// Folds this recorder's totals into another recorder — sums for
+    /// ordinary counters and durations, max for high-water marks. Used to
+    /// publish a hot loop's local tallies to the caller's sink once, at
+    /// the loop boundary.
+    pub fn merge_into<R: Recorder>(&self, target: &R) {
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v == 0 {
+                continue;
+            }
+            if c.merges_by_max() {
+                target.update_max(c, v);
+            } else {
+                target.add(c, v);
+            }
+        }
+        for s in Stage::ALL {
+            let nanos = self.stage_nanos(s);
+            if nanos > 0 {
+                target.record_duration(s, nanos);
+            }
+        }
+    }
+
+    /// Snapshots the current state into a labelled [`PipelineTrace`].
+    pub fn snapshot(&self, label: impl Into<String>) -> PipelineTrace {
+        PipelineTrace {
+            label: label.into(),
+            params: Vec::new(),
+            stage_nanos: std::array::from_fn(|i| self.stages[i].get()),
+            counters: std::array::from_fn(|i| self.counters[i].get()),
+        }
+    }
+}
+
+impl Recorder for LocalRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        let cell = &self.counters[counter.index()];
+        cell.set(cell.get() + n);
+    }
+
+    #[inline]
+    fn update_max(&self, counter: Counter, value: u64) {
+        let cell = &self.counters[counter.index()];
+        cell.set(cell.get().max(value));
+    }
+
+    #[inline]
+    fn record_duration(&self, stage: Stage, nanos: u64) {
+        let cell = &self.stages[stage.index()];
+        cell.set(cell.get() + nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_maxes() {
+        let rec = LocalRecorder::new();
+        rec.add(Counter::DistanceCalls, 2);
+        rec.incr(Counter::DistanceCalls);
+        rec.update_max(Counter::PeakDigramEntries, 5);
+        rec.update_max(Counter::PeakDigramEntries, 3);
+        rec.record_duration(Stage::Induce, 100);
+        rec.record_duration(Stage::Induce, 50);
+        assert_eq!(rec.counter(Counter::DistanceCalls), 3);
+        assert_eq!(rec.counter(Counter::PeakDigramEntries), 5);
+        assert_eq!(rec.stage_nanos(Stage::Induce), 150);
+        rec.reset();
+        assert_eq!(rec.counter(Counter::DistanceCalls), 0);
+        assert_eq!(rec.stage_nanos(Stage::Induce), 0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peaks() {
+        let a = LocalRecorder::new();
+        a.add(Counter::DistanceCalls, 10);
+        a.update_max(Counter::PeakDigramEntries, 7);
+        a.record_duration(Stage::RraInner, 500);
+        let b = LocalRecorder::new();
+        b.add(Counter::DistanceCalls, 5);
+        b.update_max(Counter::PeakDigramEntries, 9);
+        a.merge_into(&b);
+        assert_eq!(b.counter(Counter::DistanceCalls), 15);
+        assert_eq!(b.counter(Counter::PeakDigramEntries), 9);
+        assert_eq!(b.stage_nanos(Stage::RraInner), 500);
+    }
+}

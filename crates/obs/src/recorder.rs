@@ -1,0 +1,136 @@
+//! The [`Recorder`] trait and the zero-cost [`NoopRecorder`].
+
+use crate::stage::{Counter, Stage};
+use std::time::Instant;
+
+/// A sink for pipeline instrumentation events.
+///
+/// Instrumented code takes `&R` where `R: Recorder`, so the choice of
+/// recorder monomorphizes away: with [`NoopRecorder`] every method body is
+/// empty and `enabled()` is a compile-time `false`, letting the optimizer
+/// delete the instrumentation entirely.
+///
+/// Methods take `&self` (not `&mut self`) so one recorder can be shared —
+/// across call layers with a plain borrow, across threads with
+/// [`CollectingRecorder`](crate::CollectingRecorder).
+pub trait Recorder {
+    /// Whether this recorder actually stores anything. Timing helpers
+    /// consult this before touching the clock; hot loops may consult it
+    /// before maintaining aggregate state.
+    fn enabled(&self) -> bool;
+
+    /// Adds `n` to a counter.
+    fn add(&self, counter: Counter, n: u64);
+
+    /// Raises a high-water-mark counter to at least `value`.
+    fn update_max(&self, counter: Counter, value: u64);
+
+    /// Records `nanos` of wall-clock time spent in `stage` (accumulating
+    /// across multiple calls).
+    fn record_duration(&self, stage: Stage, nanos: u64);
+
+    /// Adds 1 to a counter.
+    #[inline]
+    fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        (**self).add(counter, n);
+    }
+
+    #[inline]
+    fn update_max(&self, counter: Counter, value: u64) {
+        (**self).update_max(counter, value);
+    }
+
+    #[inline]
+    fn record_duration(&self, stage: Stage, nanos: u64) {
+        (**self).record_duration(stage, nanos);
+    }
+}
+
+/// The default recorder: discards everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn add(&self, _counter: Counter, _n: u64) {}
+
+    #[inline(always)]
+    fn update_max(&self, _counter: Counter, _value: u64) {}
+
+    #[inline(always)]
+    fn record_duration(&self, _stage: Stage, _nanos: u64) {}
+}
+
+/// Runs `f`, attributing its wall-clock time to `stage`.
+///
+/// When the recorder is disabled this is a plain call — the clock is never
+/// read, so a `NoopRecorder` pipeline pays nothing for being timeable.
+#[inline]
+pub fn time_stage<R: Recorder, T>(recorder: &R, stage: Stage, f: impl FnOnce() -> T) -> T {
+    if recorder.enabled() {
+        let started = Instant::now();
+        let out = f();
+        recorder.record_duration(stage, started.elapsed().as_nanos() as u64);
+        out
+    } else {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalRecorder;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.add(Counter::DistanceCalls, 5);
+        rec.incr(Counter::DistanceCalls);
+        rec.update_max(Counter::PeakDigramEntries, 10);
+        rec.record_duration(Stage::Density, 1000);
+        let out = time_stage(&rec, Stage::Induce, || 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn time_stage_records_on_enabled_recorders() {
+        let rec = LocalRecorder::new();
+        let out = time_stage(&rec, Stage::Density, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(rec.stage_nanos(Stage::Density) >= 1_000_000);
+        assert_eq!(rec.stage_nanos(Stage::Induce), 0);
+    }
+
+    #[test]
+    fn recorder_works_through_references() {
+        let rec = LocalRecorder::new();
+        fn takes_recorder<R: Recorder>(r: &R) {
+            r.add(Counter::DistanceCalls, 3);
+            assert!(r.enabled());
+        }
+        takes_recorder(&&rec);
+        assert_eq!(rec.counter(Counter::DistanceCalls), 3);
+    }
+}

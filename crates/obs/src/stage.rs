@@ -1,0 +1,176 @@
+//! The fixed vocabulary of pipeline stages and hot-path counters.
+//!
+//! Both enums are dense `usize` indexes so recorders can back them with
+//! flat arrays — no hashing, no allocation, no string handling anywhere
+//! near the hot path.
+
+/// A timed phase of the anomaly pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// SAX sliding-window discretization + numerosity reduction.
+    Discretize,
+    /// Word interning (SAX word → dense token id).
+    Intern,
+    /// Sequitur grammar induction over the token stream.
+    Induce,
+    /// Rule-density curve construction and minima extraction (§4.1).
+    Density,
+    /// RRA outer loop over candidate intervals (§4.2).
+    RraOuter,
+    /// RRA inner nearest-neighbor loop (nested inside [`Stage::RraOuter`]).
+    RraInner,
+}
+
+impl Stage {
+    /// Number of stages (array dimension for recorders).
+    pub const COUNT: usize = 6;
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Discretize,
+        Stage::Intern,
+        Stage::Induce,
+        Stage::Density,
+        Stage::RraOuter,
+        Stage::RraInner,
+    ];
+
+    /// Dense index (0-based).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable machine-readable name (used as the JSONL key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Discretize => "discretize",
+            Stage::Intern => "intern",
+            Stage::Induce => "induce",
+            Stage::Density => "density",
+            Stage::RraOuter => "rra-outer",
+            Stage::RraInner => "rra-inner",
+        }
+    }
+
+    /// The stage this one runs inside, if any. Nested stages are excluded
+    /// from wall-clock totals (their time is already in the parent) and
+    /// indented in the table rendering.
+    pub const fn nested_under(self) -> Option<Stage> {
+        match self {
+            Stage::RraInner => Some(Stage::RraOuter),
+            _ => None,
+        }
+    }
+}
+
+/// A named hot-path counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Sliding windows visited by the discretizer.
+    WindowsProcessed,
+    /// SAX words kept after numerosity reduction.
+    WordsEmitted,
+    /// SAX words dropped by numerosity reduction.
+    WordsDropped,
+    /// Sequitur rules created during induction.
+    RulesCreated,
+    /// Sequitur rules deleted (rule utility) during induction.
+    RulesDeleted,
+    /// Peak size of the Sequitur digram table (max-merged, not summed).
+    PeakDigramEntries,
+    /// RRA candidate intervals visited by the outer loop.
+    RraCandidates,
+    /// Calls into a distance kernel (the paper's Table 1 metric).
+    DistanceCalls,
+    /// Distance calls cut short by early abandoning.
+    EarlyAbandons,
+    /// Outer candidates disqualified before the inner loop finished.
+    CandidatesPruned,
+    /// Outer candidates fully evaluated.
+    CandidatesCompleted,
+}
+
+impl Counter {
+    /// Number of counters (array dimension for recorders).
+    pub const COUNT: usize = 11;
+
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::WindowsProcessed,
+        Counter::WordsEmitted,
+        Counter::WordsDropped,
+        Counter::RulesCreated,
+        Counter::RulesDeleted,
+        Counter::PeakDigramEntries,
+        Counter::RraCandidates,
+        Counter::DistanceCalls,
+        Counter::EarlyAbandons,
+        Counter::CandidatesPruned,
+        Counter::CandidatesCompleted,
+    ];
+
+    /// Dense index (0-based).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable machine-readable name (used as the JSONL key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::WindowsProcessed => "windows_processed",
+            Counter::WordsEmitted => "words_emitted",
+            Counter::WordsDropped => "words_dropped",
+            Counter::RulesCreated => "rules_created",
+            Counter::RulesDeleted => "rules_deleted",
+            Counter::PeakDigramEntries => "peak_digram_entries",
+            Counter::RraCandidates => "rra_candidates",
+            Counter::DistanceCalls => "distance_calls",
+            Counter::EarlyAbandons => "early_abandons",
+            Counter::CandidatesPruned => "candidates_pruned",
+            Counter::CandidatesCompleted => "candidates_completed",
+        }
+    }
+
+    /// Whether merging two recordings of this counter takes the maximum
+    /// (high-water marks) rather than the sum.
+    pub const fn merges_by_max(self) -> bool {
+        matches!(self, Counter::PeakDigramEntries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_match_all() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut stage_names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        stage_names.sort_unstable();
+        stage_names.dedup();
+        assert_eq!(stage_names.len(), Stage::COUNT);
+        let mut counter_names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        counter_names.sort_unstable();
+        counter_names.dedup();
+        assert_eq!(counter_names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn nesting() {
+        assert_eq!(Stage::RraInner.nested_under(), Some(Stage::RraOuter));
+        assert_eq!(Stage::RraOuter.nested_under(), None);
+    }
+}

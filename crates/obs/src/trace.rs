@@ -1,0 +1,374 @@
+//! [`PipelineTrace`]: a finished run's instrumentation snapshot, with a
+//! hand-rolled JSONL encoding and a text table rendering.
+
+use crate::stage::{Counter, Stage};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Everything one instrumented run measured: per-stage wall-clock time and
+/// the hot-path counters, plus a free-form label and optional numeric
+/// parameters (window size, series length, …).
+///
+/// The JSON encoding is hand-rolled because `gv-obs` must stay
+/// dependency-free (see the crate docs); the schema is documented in the
+/// README's Observability section and kept stable so `BENCH_*.json`
+/// trajectory files remain comparable across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTrace {
+    /// What ran (e.g. `"density"`, `"rra"`, a bench fixture name).
+    pub label: String,
+    /// Named run parameters, in insertion order.
+    pub params: Vec<(String, u64)>,
+    /// Accumulated nanoseconds per stage, indexed by [`Stage::index`].
+    pub stage_nanos: [u64; Stage::COUNT],
+    /// Counter values, indexed by [`Counter::index`].
+    pub counters: [u64; Counter::COUNT],
+}
+
+impl PipelineTrace {
+    /// An empty trace with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            params: Vec::new(),
+            stage_nanos: [0; Stage::COUNT],
+            counters: [0; Counter::COUNT],
+        }
+    }
+
+    /// Builder-style: records a named run parameter.
+    #[must_use]
+    pub fn with_param(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.params.push((name.into(), value));
+        self
+    }
+
+    /// Accumulated nanoseconds for one stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage.index()]
+    }
+
+    /// Value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Total measured wall-clock time: the sum over non-nested stages
+    /// (nested stages already count inside their parent).
+    pub fn total_nanos(&self) -> u64 {
+        Stage::ALL
+            .iter()
+            .filter(|s| s.nested_under().is_none())
+            .map(|s| self.stage_nanos(*s))
+            .sum()
+    }
+
+    /// Fraction of sliding windows numerosity reduction dropped
+    /// (`words_dropped / windows_processed`; 0 when nothing was processed).
+    pub fn nr_drop_ratio(&self) -> f64 {
+        ratio(
+            self.counter(Counter::WordsDropped),
+            self.counter(Counter::WindowsProcessed),
+        )
+    }
+
+    /// Fraction of distance calls cut short by early abandoning.
+    pub fn early_abandon_ratio(&self) -> f64 {
+        ratio(
+            self.counter(Counter::EarlyAbandons),
+            self.counter(Counter::DistanceCalls),
+        )
+    }
+
+    /// Encodes the trace as one JSON line (no trailing newline).
+    ///
+    /// Schema: `{"label": str, "params": {name: int, ...},
+    /// "stages_ns": {stage: int, ...}, "counters": {counter: int, ...},
+    /// "derived": {"total_ns": int, "nr_drop_ratio": float,
+    /// "early_abandon_ratio": float}}` — every stage and counter key is
+    /// always present so downstream tooling never needs missing-key logic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"label\":");
+        write_json_string(&self.label, &mut out);
+        out.push_str(",\"params\":{");
+        for (i, (name, value)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"stages_ns\":{");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", stage.name(), self.stage_nanos(*stage));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", counter.name(), self.counter(*counter));
+        }
+        let _ = write!(
+            out,
+            "}},\"derived\":{{\"total_ns\":{},\"nr_drop_ratio\":{},\"early_abandon_ratio\":{}}}}}",
+            self.total_nanos(),
+            format_json_f64(self.nr_drop_ratio()),
+            format_json_f64(self.early_abandon_ratio()),
+        );
+        out
+    }
+
+    /// Appends this trace as one line to a JSONL file, creating it if
+    /// needed.
+    pub fn append_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", self.to_jsonl())
+    }
+
+    /// Renders a human-readable per-stage timing table with the counter
+    /// block underneath — the CLI's `--trace` output.
+    pub fn render_table(&self) -> String {
+        let total = self.total_nanos();
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "trace: {}", self.label);
+        if !self.params.is_empty() {
+            let rendered: Vec<String> = self
+                .params
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect();
+            let _ = writeln!(out, "  {}", rendered.join("  "));
+        }
+        let _ = writeln!(out, "  {:<14} {:>10} {:>7}", "stage", "time", "share");
+        let _ = writeln!(out, "  {:-<14} {:->10} {:->7}", "", "", "");
+        for stage in Stage::ALL {
+            let nanos = self.stage_nanos(stage);
+            let nested = stage.nested_under().is_some();
+            let name = if nested {
+                format!("  {}", stage.name())
+            } else {
+                stage.name().to_string()
+            };
+            let share = if nested || total == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * nanos as f64 / total as f64)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10} {:>7}",
+                name,
+                format_nanos(nanos),
+                share
+            );
+        }
+        let _ = writeln!(out, "  {:-<14} {:->10} {:->7}", "", "", "");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>7}",
+            "total",
+            format_nanos(total),
+            "100%"
+        );
+        let _ = writeln!(out, "  counters");
+        for counter in Counter::ALL {
+            let _ = writeln!(
+                out,
+                "    {:<22} {:>12}",
+                counter.name(),
+                group_thousands(self.counter(counter))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {:<22} {:>11.1}%",
+            "nr_drop_ratio",
+            100.0 * self.nr_drop_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "    {:<22} {:>11.1}%",
+            "early_abandon_ratio",
+            100.0 * self.early_abandon_ratio()
+        );
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Formats a finite float as a JSON number token (floats here are ratios in
+/// `[0, 1]`, so `{}`'s shortest round-trip form is always a valid token,
+/// modulo an integer-looking `0`/`1`).
+fn format_json_f64(x: f64) -> String {
+    let s = x.to_string();
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `1.23 ms`-style human duration.
+fn format_nanos(nanos: u64) -> String {
+    let ns = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", ns / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// `1234567` → `1,234,567` (matches the bench report's formatting).
+fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineTrace {
+        let mut t = PipelineTrace::new("density").with_param("window", 100);
+        t.stage_nanos[Stage::Discretize.index()] = 2_000_000;
+        t.stage_nanos[Stage::Induce.index()] = 1_000_000;
+        t.stage_nanos[Stage::RraOuter.index()] = 4_000_000;
+        t.stage_nanos[Stage::RraInner.index()] = 3_500_000;
+        t.counters[Counter::WindowsProcessed.index()] = 1000;
+        t.counters[Counter::WordsDropped.index()] = 400;
+        t.counters[Counter::DistanceCalls.index()] = 5000;
+        t.counters[Counter::EarlyAbandons.index()] = 1250;
+        t
+    }
+
+    #[test]
+    fn totals_skip_nested_stages() {
+        let t = sample();
+        assert_eq!(t.total_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let t = sample();
+        assert!((t.nr_drop_ratio() - 0.4).abs() < 1e-12);
+        assert!((t.early_abandon_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(PipelineTrace::new("empty").nr_drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn jsonl_contains_all_keys_once() {
+        let json = sample().to_jsonl();
+        for stage in Stage::ALL {
+            assert_eq!(
+                json.matches(&format!("\"{}\":", stage.name())).count(),
+                1,
+                "{}",
+                stage.name()
+            );
+        }
+        for counter in Counter::ALL {
+            assert_eq!(
+                json.matches(&format!("\"{}\":", counter.name())).count(),
+                1,
+                "{}",
+                counter.name()
+            );
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"window\":100"));
+        assert!(json.contains("\"total_ns\":7000000"));
+        assert!(json.contains("\"nr_drop_ratio\":0.4"));
+    }
+
+    #[test]
+    fn label_is_escaped() {
+        let t = PipelineTrace::new("a\"b\\c\nd");
+        let json = t.to_jsonl();
+        assert!(json.contains("\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn table_mentions_every_stage_and_counter() {
+        let table = sample().render_table();
+        for stage in Stage::ALL {
+            assert!(table.contains(stage.name()), "{}", stage.name());
+        }
+        for counter in Counter::ALL {
+            assert!(table.contains(counter.name()), "{}", counter.name());
+        }
+        assert!(table.contains("window=100"));
+        assert!(table.contains("total"));
+        assert!(table.contains("7.00 ms"));
+        assert!(table.contains("5,000"));
+    }
+
+    #[test]
+    fn append_jsonl_appends_lines() {
+        let dir = std::env::temp_dir().join("gv_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        sample().append_jsonl(&path).unwrap();
+        sample().append_jsonl(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn humanized_durations() {
+        assert_eq!(format_nanos(999), "999 ns");
+        assert_eq!(format_nanos(1_500), "1.50 us");
+        assert_eq!(format_nanos(2_250_000), "2.25 ms");
+        assert_eq!(format_nanos(3_000_000_000), "3.00 s");
+        assert_eq!(group_thousands(1_234_567), "1,234,567");
+        assert_eq!(group_thousands(42), "42");
+    }
+}

@@ -1,6 +1,7 @@
 //! Sliding-window SAX discretization with numerosity reduction
 //! (paper §3.1–3.2).
 
+use gv_obs::{time_stage, Counter, NoopRecorder, Recorder, Stage};
 use gv_timeseries::{znorm_into, SlidingWindows, DEFAULT_ZNORM_THRESHOLD};
 
 use crate::alphabet::Alphabet;
@@ -148,6 +149,22 @@ impl SaxConfig {
     /// [`Error::Window`] when the series is shorter than the window;
     /// [`Error::EmptyInput`] for an empty series.
     pub fn discretize(&self, values: &[f64], nr: NumerosityReduction) -> Result<Vec<SaxRecord>> {
+        self.discretize_with(values, nr, &NoopRecorder)
+    }
+
+    /// [`SaxConfig::discretize`] with instrumentation: wall-clock time is
+    /// attributed to [`Stage::Discretize`] and the window/word counters are
+    /// published to `recorder` in one bulk update after the loop (the hot
+    /// loop itself maintains plain integers).
+    ///
+    /// # Errors
+    /// Same as [`SaxConfig::discretize`].
+    pub fn discretize_with<R: Recorder>(
+        &self,
+        values: &[f64],
+        nr: NumerosityReduction,
+        recorder: &R,
+    ) -> Result<Vec<SaxRecord>> {
         if values.is_empty() {
             return Err(Error::EmptyInput);
         }
@@ -157,18 +174,26 @@ impl SaxConfig {
                 series_len: values.len(),
             });
         }
-        let mut records: Vec<SaxRecord> = Vec::new();
-        let mut zbuf = vec![0.0; self.window];
-        let mut pbuf = vec![0.0; self.paa_size];
-        let windows = SlidingWindows::new(values, self.window).expect("window validated above");
-        for (offset, win) in windows {
-            let word = self.word_for(win, &mut zbuf, &mut pbuf);
-            match records.last() {
-                Some(last) if nr.drops(&last.word, &word) => {}
-                _ => records.push(SaxRecord { word, offset }),
+        time_stage(recorder, Stage::Discretize, || {
+            let mut records: Vec<SaxRecord> = Vec::new();
+            let mut windows_processed = 0u64;
+            let mut words_dropped = 0u64;
+            let mut zbuf = vec![0.0; self.window];
+            let mut pbuf = vec![0.0; self.paa_size];
+            let windows = SlidingWindows::new(values, self.window).expect("window validated above");
+            for (offset, win) in windows {
+                windows_processed += 1;
+                let word = self.word_for(win, &mut zbuf, &mut pbuf);
+                match records.last() {
+                    Some(last) if nr.drops(&last.word, &word) => words_dropped += 1,
+                    _ => records.push(SaxRecord { word, offset }),
+                }
             }
-        }
-        Ok(records)
+            recorder.add(Counter::WindowsProcessed, windows_processed);
+            recorder.add(Counter::WordsEmitted, records.len() as u64);
+            recorder.add(Counter::WordsDropped, words_dropped);
+            Ok(records)
+        })
     }
 }
 
@@ -320,6 +345,31 @@ mod tests {
         assert!(sax_by_chunking(&[], 4, 2, 3).is_err());
         assert!(sax_by_chunking(&ramp(10), 0, 2, 3).is_err());
         assert!(sax_by_chunking(&ramp(10), 11, 2, 3).is_err());
+    }
+
+    #[test]
+    fn instrumented_discretize_matches_plain_and_counts() {
+        let values: Vec<f64> = (0..300).map(|i| (i as f64 / 9.0).sin()).collect();
+        let cfg = SaxConfig::new(24, 4, 4).unwrap();
+        let rec = gv_obs::LocalRecorder::new();
+        for nr in [
+            NumerosityReduction::None,
+            NumerosityReduction::Exact,
+            NumerosityReduction::MinDist,
+        ] {
+            rec.reset();
+            let plain = cfg.discretize(&values, nr).unwrap();
+            let instrumented = cfg.discretize_with(&values, nr, &rec).unwrap();
+            assert_eq!(plain, instrumented);
+            let windows = (300 - 24 + 1) as u64;
+            assert_eq!(rec.counter(Counter::WindowsProcessed), windows);
+            assert_eq!(rec.counter(Counter::WordsEmitted), plain.len() as u64);
+            assert_eq!(
+                rec.counter(Counter::WordsEmitted) + rec.counter(Counter::WordsDropped),
+                windows
+            );
+        }
+        assert!(rec.stage_nanos(Stage::Discretize) > 0);
     }
 
     #[test]

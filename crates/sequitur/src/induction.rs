@@ -46,6 +46,21 @@ struct RuleSlot {
     alive: bool,
 }
 
+/// Cheap always-on accounting of one induction run: how much rule churn
+/// the input caused and how large the digram index grew. Maintained as
+/// three plain integers alongside operations that already touch the same
+/// structures, so there is no "instrumented" variant of the inducer —
+/// callers that don't read the stats pay a handful of integer increments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InductionStats {
+    /// Rules created, including `R0` and rules later deleted by utility.
+    pub rules_created: u64,
+    /// Rules deleted by the rule-utility constraint (inlined away).
+    pub rules_deleted: u64,
+    /// High-water mark of the digram hash table's entry count.
+    pub peak_digram_entries: u64,
+}
+
 /// Incremental Sequitur inducer over `u32` terminal tokens.
 ///
 /// Feed tokens with [`Sequitur::push`], then call [`Sequitur::finish`]
@@ -59,6 +74,7 @@ pub struct Sequitur {
     digrams: HashMap<(Val, Val), u32>,
     /// Number of terminals consumed.
     len: usize,
+    stats: InductionStats,
 }
 
 impl Default for Sequitur {
@@ -76,6 +92,7 @@ impl Sequitur {
             rules: Vec::new(),
             digrams: HashMap::new(),
             len: 0,
+            stats: InductionStats::default(),
         };
         s.new_rule(); // R0
         s
@@ -93,6 +110,11 @@ impl Sequitur {
     /// Number of terminals consumed so far.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Accounting for the induction so far (see [`InductionStats`]).
+    pub fn stats(&self) -> InductionStats {
+        self.stats
     }
 
     /// `true` when no terminal has been consumed.
@@ -217,7 +239,19 @@ impl Sequitur {
             uses: 0,
             alive: true,
         });
+        self.stats.rules_created += 1;
         rule_id
+    }
+
+    /// Points the digram index at `at`, tracking the table's high-water
+    /// mark (every insertion funnels through here).
+    #[inline]
+    fn index_digram(&mut self, key: (Val, Val), at: u32) {
+        self.digrams.insert(key, at);
+        let entries = self.digrams.len() as u64;
+        if entries > self.stats.peak_digram_entries {
+            self.stats.peak_digram_entries = entries;
+        }
     }
 
     fn digram_key(&self, first: u32) -> Option<(Val, Val)> {
@@ -260,7 +294,7 @@ impl Sequitur {
                 && self.val(right) == self.val(rn)
             {
                 if let Some(key) = self.digram_key(right) {
-                    self.digrams.insert(key, right);
+                    self.index_digram(key, right);
                 }
             }
             let lp = self.prev(left);
@@ -271,7 +305,7 @@ impl Sequitur {
                 && self.val(left) == self.val(ln)
             {
                 if let Some(key) = self.digram_key(lp) {
-                    self.digrams.insert(key, lp);
+                    self.index_digram(key, lp);
                 }
             }
         }
@@ -311,7 +345,7 @@ impl Sequitur {
         };
         match self.digrams.get(&key).copied() {
             None => {
-                self.digrams.insert(key, first);
+                self.index_digram(key, first);
                 false
             }
             Some(existing) => {
@@ -360,7 +394,7 @@ impl Sequitur {
             // Index the digram that now constitutes the rule body.
             let body_first = self.next(self.rules[r as usize].guard);
             if let Some(key) = self.digram_key(body_first) {
-                self.digrams.insert(key, body_first);
+                self.index_digram(key, body_first);
             }
             r
         };
@@ -422,6 +456,7 @@ impl Sequitur {
         self.rules[r as usize].uses -= 1;
         debug_assert_eq!(self.rules[r as usize].uses, 0);
         self.rules[r as usize].alive = false;
+        self.stats.rules_deleted += 1;
         self.release(nt);
         self.release(guard);
 
@@ -433,10 +468,10 @@ impl Sequitur {
         // the leading digram, which arises when expanding a rule's *last*
         // symbol (where `left` is a real symbol, not the guard).
         if let Some(key) = self.digram_key(last) {
-            self.digrams.insert(key, last);
+            self.index_digram(key, last);
         }
         if let Some(key) = self.digram_key(left) {
-            self.digrams.insert(key, left);
+            self.index_digram(key, left);
         }
     }
 }
@@ -602,6 +637,42 @@ mod tests {
         let batch = Sequitur::induce(input.clone());
         assert_eq!(done.expand_rule(done.r0_id()), input);
         assert_eq!(done.num_rules(), batch.num_rules());
+    }
+
+    #[test]
+    fn stats_track_rule_churn_and_digram_peak() {
+        let mut s = Sequitur::new();
+        // Only R0 exists; nothing indexed yet.
+        assert_eq!(
+            s.stats(),
+            InductionStats {
+                rules_created: 1,
+                rules_deleted: 0,
+                peak_digram_entries: 0
+            }
+        );
+        for t in letters("abcdbcabcdbcabcdbc") {
+            s.push(t);
+        }
+        let stats = s.stats();
+        let g = s.finish();
+        // Created = survivors + deleted (R0 counts as created).
+        assert_eq!(
+            stats.rules_created,
+            g.num_rules() as u64 + stats.rules_deleted
+        );
+        assert!(stats.peak_digram_entries > 0);
+        // The peak is a high-water mark over insertions, so it bounds the
+        // number of distinct digrams live at any point.
+        assert!(stats.peak_digram_entries >= 2);
+        // Plain unique input causes no churn beyond R0.
+        let mut plain = Sequitur::new();
+        for t in letters("abcdefg") {
+            plain.push(t);
+        }
+        assert_eq!(plain.stats().rules_created, 1);
+        assert_eq!(plain.stats().rules_deleted, 0);
+        assert_eq!(plain.stats().peak_digram_entries, 6);
     }
 
     #[test]

@@ -35,4 +35,4 @@ mod induction;
 
 pub use dot::to_dot;
 pub use grammar::{Grammar, GrammarRule, RuleId, RuleOccurrence, Symbol};
-pub use induction::Sequitur;
+pub use induction::{InductionStats, Sequitur};

@@ -1,0 +1,242 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! The build environment resolves crates offline, so the workspace vendors
+//! the API surface its benches use (`Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros) over a
+//! simple wall-clock harness: each benchmark is warmed up, run in timed
+//! batches, and reported as mean ns/iteration (plus derived element
+//! throughput) on stdout. No statistics, plots, or baselines — enough to
+//! compare hot paths run-over-run.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable subset of `std::hint::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench context; hands out named groups.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let target_time = self.target_time;
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            target_time,
+        }
+    }
+}
+
+/// Work-per-iteration hint used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group/name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A label that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    target_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.target_time = time;
+        self
+    }
+
+    /// Sets the per-iteration work hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            target_time: self.target_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mut line = format!(
+            "  {}/{id}: {:.1} ns/iter ({} iters)",
+            self.name, bencher.mean_ns, bencher.iters
+        );
+        if bencher.mean_ns > 0.0 {
+            let per_sec = |units: u64| units as f64 * 1e9 / bencher.mean_ns;
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!(", {:.0} elem/s", per_sec(n)));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!(", {:.0} B/s", per_sec(n)));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Times the closure handed to it by a benchmark body.
+pub struct Bencher {
+    target_time: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — a short warm-up, then timed batches until the
+    /// harness's time budget is spent — and records the mean latency.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + batch-size calibration from a single probe iteration.
+        let probe = Instant::now();
+        black_box(f());
+        let probe_ns = probe.elapsed().as_nanos().max(1);
+        let batch = (1_000_000 / probe_ns).clamp(1, 1000) as u64;
+
+        let budget = self.target_time;
+        let started = Instant::now();
+        let mut total_ns = 0u128;
+        let mut iters = 0u64;
+        while started.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t.elapsed().as_nanos();
+            iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+/// Bundles bench functions into one runnable group, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_smoke() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,402 @@
+//! Vendored derive macros for the workspace `serde` shim.
+//!
+//! The build environment resolves crates offline, so instead of `syn` +
+//! `quote` this hand-parses the `proc_macro::TokenStream` of the deriving
+//! item. It deliberately supports exactly the shapes present in this
+//! repository — non-generic named-field structs, tuple/newtype structs,
+//! and enums whose variants are unit or tuple — and panics with a clear
+//! message on anything else, so a future unsupported type fails loudly at
+//! compile time rather than serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// The parsed skeleton of a deriving item: just names and arities — field
+/// *types* are never needed because the generated code lets struct/variant
+/// construction drive type inference.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                let _ = write!(
+                    pairs,
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(vec![{pairs}])\
+                     }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = tuple_serialize_body(*arity, "self.");
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                        );
+                    }
+                    1 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}(x0) => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Serialize::to_value(x0)),\
+                             ]),"
+                        );
+                    }
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Value::Array(vec![{}])),\
+                             ]),",
+                            binds.join(","),
+                            elems.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = tuple_deserialize_body(*arity, "Self");
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                    1 => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{v}\" => return ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(items.get({i}).ok_or_else(::serde::Error::shape)?)?")
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{v}\" => {{\
+                                 let items = inner.as_array()?;\
+                                 return ::std::result::Result::Ok({name}::{v}({}));\
+                             }}",
+                            elems.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         if let ::serde::Value::Str(tag) = v {{\
+                             match tag.as_str() {{\
+                                 {unit_arms}\
+                                 _ => return ::std::result::Result::Err(::serde::Error::shape()),\
+                             }}\
+                         }}\
+                         let (tag, inner) = v.as_single_entry()?;\
+                         match tag {{\
+                             {tagged_arms}\
+                             _ => ::std::result::Result::Err(::serde::Error::shape()),\
+                         }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Serialize body for a tuple struct: newtypes are transparent (match
+/// upstream serde), wider tuples become arrays.
+fn tuple_serialize_body(arity: usize, access: &str) -> String {
+    if arity == 1 {
+        format!("::serde::Serialize::to_value(&{access}0)")
+    } else {
+        let elems: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Serialize::to_value(&{access}{i})"))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", elems.join(","))
+    }
+}
+
+fn tuple_deserialize_body(arity: usize, ctor: &str) -> String {
+    if arity == 1 {
+        format!("::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value(v)?))")
+    } else {
+        let elems: Vec<String> = (0..arity)
+            .map(|i| {
+                format!("::serde::Deserialize::from_value(items.get({i}).ok_or_else(::serde::Error::shape)?)?")
+            })
+            .collect();
+        format!(
+            "let items = v.as_array()?;\
+             ::std::result::Result::Ok({ctor}({}))",
+            elems.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    assert!(
+        !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<'),
+        "serde_derive shim: generic type `{name}` is not supported"
+    );
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_segments(g.stream()),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: malformed enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// `name: Type, ...` — collects field names, skipping each type by scanning
+/// to the next comma outside angle brackets (commas inside parenthesized or
+/// bracketed groups are invisible at this token depth).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Number of comma-separated segments at angle-depth 0 (tuple-struct arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut segments = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    segments += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    segments - usize::from(trailing_comma)
+}
+
+/// Skips tokens up to and including the next top-level `,` (or the end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// `Variant, Variant(T, ...), ...` → `(name, arity)` pairs; arity 0 marks a
+/// unit variant. Struct variants and discriminants are unsupported.
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_segments(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct variant `{name}` is not supported")
+            }
+            _ => 0,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde_derive shim: unexpected token after variant: {other:?}"),
+        }
+        variants.push((name, arity));
+    }
+    variants
+}

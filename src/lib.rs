@@ -37,3 +37,6 @@ pub use gv_discord as discord;
 
 /// The paper's contribution: rule-density and RRA anomaly discovery.
 pub use gva_core as core;
+
+/// Zero-overhead pipeline instrumentation (stage timers, counters, JSONL).
+pub use gv_obs as obs;

@@ -1,0 +1,163 @@
+//! Cross-crate instrumentation invariants: recording must never change
+//! results, the recorder and `SearchStats` must agree (one counting path),
+//! and the JSONL export must round-trip.
+
+use grammarviz::core::obs::{CollectingRecorder, Counter, NoopRecorder, PipelineTrace, Stage};
+use grammarviz::core::{rra, rule_intervals, AnomalyPipeline, PipelineConfig};
+
+fn fixture() -> Vec<f64> {
+    let mut values: Vec<f64> = (0..2000).map(|i| (i as f64 / 20.0).sin()).collect();
+    for (i, v) in values[1000..1060].iter_mut().enumerate() {
+        *v = (i as f64 / 4.0).sin() * 0.3;
+    }
+    values
+}
+
+fn pipeline() -> AnomalyPipeline {
+    AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap())
+}
+
+#[test]
+fn noop_recorder_leaves_rra_results_identical() {
+    let values = fixture();
+    let p = pipeline();
+    let model = p.model(&values).unwrap();
+    let plain = rra::discords(&values, &model, 3, p.config().seed()).unwrap();
+    let noop = rra::discords_with(&values, &model, 3, p.config().seed(), &NoopRecorder).unwrap();
+    let collecting = CollectingRecorder::new();
+    let recorded = rra::discords_with(&values, &model, 3, p.config().seed(), &collecting).unwrap();
+
+    for other in [&noop, &recorded] {
+        assert_eq!(plain.discords.len(), other.discords.len());
+        for (a, b) in plain.discords.iter().zip(&other.discords) {
+            assert_eq!(
+                (a.position, a.length, a.rank),
+                (b.position, b.length, b.rank)
+            );
+            assert!((a.distance - b.distance).abs() < 1e-12);
+        }
+        assert_eq!(plain.stats, other.stats);
+        assert_eq!(plain.num_candidates, other.num_candidates);
+    }
+}
+
+#[test]
+fn recorder_and_search_stats_are_one_counting_path() {
+    let values = fixture();
+    let p = pipeline();
+    let rec = CollectingRecorder::new();
+    let report = p.rra_discords_with(&values, 2, &rec).unwrap();
+    assert!(report.stats.distance_calls > 0);
+    assert_eq!(
+        rec.counter(Counter::DistanceCalls),
+        report.stats.distance_calls
+    );
+    assert_eq!(
+        rec.counter(Counter::EarlyAbandons),
+        report.stats.early_abandoned
+    );
+    assert_eq!(
+        rec.counter(Counter::CandidatesPruned),
+        report.stats.candidates_pruned
+    );
+    assert_eq!(
+        rec.counter(Counter::CandidatesCompleted),
+        report.stats.candidates_completed
+    );
+    // Same seed, same fixture: a second instrumented run reproduces the
+    // counts exactly (the search is deterministic given the seed).
+    let rec2 = CollectingRecorder::new();
+    let report2 = p.rra_discords_with(&values, 2, &rec2).unwrap();
+    assert_eq!(report.stats, report2.stats);
+    for c in Counter::ALL {
+        assert_eq!(rec.counter(c), rec2.counter(c), "{}", c.name());
+    }
+}
+
+#[test]
+fn candidate_accounting_is_closed() {
+    let values = fixture();
+    let p = pipeline();
+    let rec = CollectingRecorder::new();
+    let model = p.model_with(&values, &rec).unwrap();
+    rra::discords_with(&values, &model, 1, 0, &rec).unwrap();
+    assert!(rec.counter(Counter::RraCandidates) as usize <= rule_intervals(&model).len());
+    // Every outer candidate that reached the inner loop either completed
+    // or was pruned.
+    assert_eq!(
+        rec.counter(Counter::RraCandidates),
+        rec.counter(Counter::CandidatesPruned) + rec.counter(Counter::CandidatesCompleted)
+    );
+    // Discretization accounting closes too.
+    assert_eq!(rec.counter(Counter::WindowsProcessed), 2000 - 100 + 1);
+    assert_eq!(
+        rec.counter(Counter::WordsEmitted) + rec.counter(Counter::WordsDropped),
+        rec.counter(Counter::WindowsProcessed)
+    );
+}
+
+/// A tiny flat-JSON parser sufficient for the trace schema (no nested
+/// arrays, no escapes in the keys we probe): extracts `"key":value`
+/// number fields from anywhere in the line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn jsonl_snapshot_round_trips() {
+    let values = fixture();
+    let p = pipeline();
+    let rec = CollectingRecorder::new();
+    let report = p.rra_discords_with(&values, 1, &rec).unwrap();
+    let trace = rec
+        .snapshot("roundtrip")
+        .with_param("window", 100)
+        .with_param("points", values.len() as u64);
+
+    let dir = std::env::temp_dir().join("gv_obs_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("rt_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    trace.append_jsonl(&path).unwrap();
+    trace.append_jsonl(&path).unwrap();
+
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(json_u64(line, "window"), Some(100));
+        assert_eq!(json_u64(line, "points"), Some(2000));
+        assert_eq!(
+            json_u64(line, "distance_calls"),
+            Some(report.stats.distance_calls)
+        );
+        assert_eq!(
+            json_u64(line, "windows_processed"),
+            Some(trace.counter(Counter::WindowsProcessed))
+        );
+        assert_eq!(json_u64(line, "total_ns"), Some(trace.total_nanos()));
+        // Every stage key is present even when zero.
+        for stage in Stage::ALL {
+            assert_eq!(
+                json_u64(line, stage.name()),
+                Some(trace.stage_nanos(stage)),
+                "{}",
+                stage.name()
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+
+    // And the parsed record matches an in-memory re-encode.
+    assert_eq!(
+        trace.to_jsonl(),
+        PipelineTrace { ..trace.clone() }.to_jsonl()
+    );
+}
