@@ -1,0 +1,146 @@
+//! Validates observability JSONL exports against schema version 2.
+//!
+//! Every line must parse as a JSON object carrying `"schema": 2`, and each
+//! record shape (trace, event, explain row, explain summary) must carry
+//! its required keys. CI runs this over the `BENCH_obs_*.json` trajectory
+//! files so a schema drift fails the build instead of silently producing
+//! unparseable metrics.
+//!
+//! ```text
+//! cargo run -p gv-bench --release --bin validate_jsonl -- FILE...
+//! ```
+//!
+//! Exits non-zero on the first malformed file; prints a per-file line
+//! count on success.
+
+use serde::Value;
+
+/// The record shapes the pipeline exports, keyed by how they self-identify.
+fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
+    if record.field("label").is_ok() {
+        // A `PipelineTrace` (CLI `--metrics`, stream snapshots, BENCH traces).
+        return Ok(&[
+            "schema",
+            "label",
+            "params",
+            "stages_ns",
+            "counters",
+            "histograms",
+            "derived",
+        ]);
+    }
+    let kind = match record.field("type") {
+        Ok(Value::Str(s)) => s.as_str(),
+        _ => return Err("record has neither \"label\" nor a string \"type\"".to_string()),
+    };
+    match kind {
+        "event" => Ok(&[
+            "schema",
+            "kind",
+            "position",
+            "length",
+            "rule",
+            "frequency",
+            "calls",
+            "value",
+        ]),
+        "explain" => Ok(&[
+            "schema",
+            "rank",
+            "position",
+            "length",
+            "distance",
+            "rule",
+            "word",
+            "frequency",
+            "siblings",
+            "visits",
+            "calls",
+            "min_density",
+        ]),
+        "explain_summary" => Ok(&[
+            "schema",
+            "discords",
+            "candidates",
+            "distance_calls",
+            "early_abandoned",
+            "events_recorded",
+            "events_dropped",
+            "distance_ns",
+            "abandon_pos",
+        ]),
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}
+
+fn validate_line(line: &str) -> Result<(), String> {
+    let record: Value = serde_json::from_str(line).map_err(|e| format!("parse error: {e}"))?;
+    match record.field("schema") {
+        Ok(Value::U64(2)) => {}
+        Ok(v) => return Err(format!("\"schema\" is {v:?}, expected 2")),
+        Err(e) => return Err(e.to_string()),
+    }
+    for key in required_keys(&record)? {
+        record
+            .field(key)
+            .map_err(|_| format!("missing required key {key:?}"))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_jsonl FILE...");
+        std::process::exit(2);
+    }
+    for path in &files {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut n = 0;
+        for (i, line) in body.lines().enumerate() {
+            if let Err(e) = validate_line(line) {
+                eprintln!("{path}:{}: {e}\n  {line}", i + 1);
+                std::process::exit(1);
+            }
+            n += 1;
+        }
+        if n == 0 {
+            eprintln!("{path}: empty file");
+            std::process::exit(1);
+        }
+        println!("{path}: {n} valid schema-2 record(s)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_real_records() {
+        use gva_core::obs::{Event, EventKind, PipelineTrace};
+        let trace = PipelineTrace::new("t").with_param("points", 10);
+        validate_line(&trace.to_jsonl()).unwrap();
+        let event = Event::new(EventKind::Visited);
+        validate_line(&event.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line("{\"schema\":1,\"label\":\"x\"}").is_err());
+        assert!(validate_line("{\"label\":\"x\"}").is_err());
+        assert!(validate_line("{\"schema\":2,\"type\":\"mystery\"}").is_err());
+        // A trace missing its histograms object.
+        assert!(validate_line(
+            "{\"schema\":2,\"label\":\"x\",\"params\":{},\"stages_ns\":{},\"counters\":{},\"derived\":{}}"
+        )
+        .is_err());
+    }
+}

@@ -58,10 +58,16 @@ pub fn trace_section(traces: &[PipelineTrace]) -> String {
 /// per line, the same schema as the CLI's `--metrics` output. Overwrites —
 /// a baseline file is regenerated whole, not appended to.
 pub fn write_traces(path: &Path, traces: &[PipelineTrace]) -> std::io::Result<()> {
+    let lines: Vec<String> = traces.iter().map(PipelineTrace::to_jsonl).collect();
+    write_lines(path, &lines)
+}
+
+/// Writes pre-rendered JSONL lines to a `BENCH_*.json` file, overwriting.
+pub fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
     use std::io::Write as _;
     let mut file = std::fs::File::create(path)?;
-    for trace in traces {
-        writeln!(file, "{}", trace.to_jsonl())?;
+    for line in lines {
+        writeln!(file, "{line}")?;
     }
     Ok(())
 }
@@ -118,7 +124,9 @@ mod tests {
         write_traces(&path, &traces).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body.lines().count(), 2);
-        assert!(body.lines().all(|l| l.starts_with("{\"label\":")));
+        assert!(body
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":2,\"label\":")));
         std::fs::remove_file(&path).unwrap();
     }
 }

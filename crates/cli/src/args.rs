@@ -76,6 +76,56 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer")),
         }
     }
+
+    /// Checks every given option against a per-subcommand allowlist.
+    ///
+    /// An unknown option is an error; when a known flag is close in edit
+    /// distance, the message suggests it ("did you mean --window?"), so a
+    /// typo doesn't silently fall back to a default value.
+    pub fn validate(&self, command: &str, allowed: &[&str]) -> Result<(), String> {
+        let mut keys: Vec<&str> = self.options.keys().map(String::as_str).collect();
+        keys.sort_unstable(); // HashMap order is random; keep errors deterministic
+        for key in keys {
+            if allowed.contains(&key) {
+                continue;
+            }
+            let mut msg = format!("unknown option --{key} for {command}");
+            if let Some(near) = nearest_flag(key, allowed) {
+                msg.push_str(&format!(" (did you mean --{near}?)"));
+            }
+            return Err(msg);
+        }
+        Ok(())
+    }
+}
+
+/// The closest allowed flag by edit distance, when close enough to be a
+/// plausible typo (within 2 edits, or a third of the flag's length for
+/// long flags like `--metrics-every`).
+fn nearest_flag<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
+    allowed
+        .iter()
+        .map(|&cand| (levenshtein(key, cand), cand))
+        .min()
+        .filter(|&(d, cand)| d <= (cand.len() / 3).max(2))
+        .map(|(_, cand)| cand)
+}
+
+/// Classic two-row Levenshtein edit distance.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -131,5 +181,35 @@ mod tests {
         let a = Args::parse(&argv("x --top abc")).unwrap();
         assert!(a.usize_or("top", 1).is_err());
         assert!(a.required_usize("top").is_err());
+    }
+
+    #[test]
+    fn edit_distance() {
+        assert_eq!(levenshtein("window", "window"), 0);
+        assert_eq!(levenshtein("widow", "window"), 1);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn validate_accepts_allowed_and_rejects_unknown() {
+        let allowed = &["file", "window", "metrics-every"];
+        let a = Args::parse(&argv("x --file f.csv --window 10")).unwrap();
+        assert!(a.validate("x", allowed).is_ok());
+
+        // A near-miss suggests the intended flag.
+        let b = Args::parse(&argv("x --widow 10")).unwrap();
+        let err = b.validate("x", allowed).unwrap_err();
+        assert!(err.contains("--widow"), "{err}");
+        assert!(err.contains("did you mean --window?"), "{err}");
+        let c = Args::parse(&argv("x --metrics-evry 100")).unwrap();
+        let err = c.validate("x", allowed).unwrap_err();
+        assert!(err.contains("did you mean --metrics-every?"), "{err}");
+
+        // A far-off option errors without a bogus suggestion.
+        let d = Args::parse(&argv("x --zzzzzzzz 1")).unwrap();
+        let err = d.validate("x", allowed).unwrap_err();
+        assert!(err.contains("unknown option --zzzzzzzz"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
     }
 }

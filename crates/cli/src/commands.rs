@@ -13,6 +13,7 @@ usage: gv <command> [options]
 commands:
   density   rule-density anomaly discovery (approximate, linear time)
   rra       Rare Rule Anomaly exact variable-length discord discovery
+  explain   RRA plus per-discord provenance (rule, frequency, cost, density)
   hotsax    fixed-length HOTSAX discord discovery (baseline)
   wcad      compression-dissimilarity baseline (Keogh et al. 2004)
   motifs    variable-length recurrent pattern discovery
@@ -31,17 +32,67 @@ common options:
   --top K            how many anomalies/discords to report (default 3)
   --width N          plot width in characters (default 100)
   --trace            print a per-stage timing/counter table to stderr
-                     (density/rra/demo)
+                     (density/rra/explain/demo)
   --metrics PATH     append the run's trace as one JSONL record to PATH
+  --events PATH      append per-decision search events as JSONL to PATH
+                     (rra/explain)
+  --metrics-every N  stream: append a metrics snapshot to --metrics every
+                     N points (a time-resolved trajectory, not one record)
   --dataset NAME     demo dataset: ecg0606 | power | video | tek14 | tek16 |
-                     tek17 | nprs43 | nprs44 | commute";
+                     tek17 | nprs43 | nprs44 | commute
+
+unknown options are rejected per subcommand, with a nearest-flag hint";
+
+/// Per-subcommand option allowlists — `Args::validate` rejects anything
+/// else with a nearest-flag suggestion. `None` for unknown commands (the
+/// dispatcher reports those itself).
+fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
+    // "file", "column", "window", "paa", "alphabet" are the shared
+    // pipeline options; each arm appends its own.
+    match command {
+        "density" => Some(&[
+            "file", "column", "window", "paa", "alphabet", "top", "width", "trace", "metrics",
+        ]),
+        "rra" => Some(&[
+            "file", "column", "window", "paa", "alphabet", "top", "width", "trace", "metrics",
+            "events",
+        ]),
+        "explain" => Some(&[
+            "file", "column", "window", "paa", "alphabet", "top", "trace", "metrics", "events",
+        ]),
+        "hotsax" | "motifs" => Some(&["file", "column", "window", "paa", "alphabet", "top"]),
+        "wcad" => Some(&["file", "column", "window", "top"]),
+        "grammar" => Some(&["file", "column", "window", "paa", "alphabet", "limit"]),
+        "dot" => Some(&["file", "column", "window", "paa", "alphabet", "out"]),
+        "export" => Some(&["file", "column", "window", "paa", "alphabet", "top", "out"]),
+        "stream" => Some(&[
+            "file",
+            "column",
+            "window",
+            "paa",
+            "alphabet",
+            "threshold",
+            "maturity",
+            "check-every",
+            "metrics-every",
+            "metrics",
+        ]),
+        "demo" => Some(&["dataset", "top", "width", "trace", "metrics"]),
+        "help" => Some(&[]),
+        _ => None,
+    }
+}
 
 /// Entry point shared with `main`.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    if let Some(allowed) = args.command.as_deref().and_then(allowed_options) {
+        args.validate(args.command.as_deref().unwrap_or(""), allowed)?;
+    }
     match args.command.as_deref() {
         Some("density") => density(&args),
         Some("rra") => rra(&args),
+        Some("explain") => explain(&args),
         Some("hotsax") => hotsax(&args),
         Some("wcad") => wcad(&args),
         Some("motifs") => motifs_cmd(&args),
@@ -64,10 +115,30 @@ fn warn(message: impl std::fmt::Display) {
     eprintln!("gv: {message}");
 }
 
-/// An instrumentation sink when `--trace` or `--metrics` was given;
-/// `None` keeps the zero-overhead uninstrumented path.
+/// An instrumentation sink when `--trace`, `--metrics`, or `--events` was
+/// given; `None` keeps the zero-overhead uninstrumented path.
 fn recorder_for(args: &Args) -> Option<CollectingRecorder> {
-    (args.flag("trace") || args.get("metrics").is_some()).then(CollectingRecorder::new)
+    (args.flag("trace") || args.get("metrics").is_some() || args.get("events").is_some())
+        .then(CollectingRecorder::new)
+}
+
+/// Appends JSONL lines (one per element) to `path`, creating it if needed.
+fn append_jsonl_lines(
+    path: &str,
+    lines: impl IntoIterator<Item = String>,
+) -> Result<usize, String> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("--events {path}: {e}"))?;
+    let mut n = 0;
+    for line in lines {
+        writeln!(file, "{line}").map_err(|e| format!("--events {path}: {e}"))?;
+        n += 1;
+    }
+    Ok(n)
 }
 
 /// Delivers a finished trace: table to stderr under `--trace`, one JSONL
@@ -171,6 +242,13 @@ fn rra(args: &Args) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     if let Some(rec) = &recorder {
         emit_trace(args, &pipeline_trace(rec, "rra", &p, series.len(), k))?;
+        if let Some(path) = args.get("events") {
+            let (recorded, dropped) = rec.events_recorded_dropped();
+            let n = append_jsonl_lines(path, rec.events_vec().iter().map(|e| e.to_jsonl()))?;
+            warn(format_args!(
+                "appended {n} event lines to {path} ({recorded} recorded, {dropped} dropped)"
+            ));
+        }
     }
     println!("series: {} ({} points)", series.name(), series.len());
     println!("signal : {}", viz::sparkline(series.values(), width));
@@ -185,6 +263,34 @@ fn rra(args: &Args) -> Result<(), String> {
         "\n{} candidates, {} distance calls ({} abandoned early)",
         report.num_candidates, report.stats.distance_calls, report.stats.early_abandoned
     );
+    Ok(())
+}
+
+fn explain(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let p = pipeline_for(args, &series)?;
+    let k = args.usize_or("top", 3)?;
+    let recorder = recorder_for(args);
+    let report = match &recorder {
+        Some(rec) => p.explain_with(series.values(), k, rec),
+        None => p.explain(series.values(), k),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(rec) = &recorder {
+        emit_trace(args, &pipeline_trace(rec, "explain", &p, series.len(), k))?;
+    }
+    if let Some(path) = args.get("events") {
+        let lines = report
+            .rows
+            .iter()
+            .map(|r| r.to_jsonl())
+            .chain(report.events.iter().map(|e| e.to_jsonl()))
+            .chain(std::iter::once(report.summary_jsonl()));
+        let n = append_jsonl_lines(path, lines)?;
+        warn(format_args!("appended {n} JSONL lines to {path}"));
+    }
+    println!("series: {} ({} points)", series.name(), series.len());
+    print!("{}", report.render_table());
     Ok(())
 }
 
@@ -324,9 +430,10 @@ fn stream(args: &Args) -> Result<(), String> {
     let threshold = args.usize_or("threshold", 0)? as i64;
     let maturity = args.usize_or("maturity", window)?;
     let check_every = args.usize_or("check-every", (series.len() / 20).max(100))?;
+    let metrics_every = args.usize_or("metrics-every", 0)?;
 
     let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    let mut det = gva_core::StreamingDetector::new(config);
+    let mut det = gva_core::StreamingDetector::new(config).metrics_every(metrics_every);
     println!(
         "streaming {} points (W={window} P={paa} A={alphabet}, \
          alert threshold {threshold}, maturity {maturity})",
@@ -348,6 +455,18 @@ fn stream(args: &Args) -> Result<(), String> {
         println!("  no alerts (threshold {threshold})");
     } else {
         println!("{} alert region(s) in total", reported.len());
+    }
+    if metrics_every > 0 {
+        let snapshots = det.take_snapshots();
+        if let Some(path) = args.get("metrics") {
+            let n = append_jsonl_lines(path, snapshots.iter().map(|s| s.to_jsonl()))?;
+            warn(format_args!("appended {n} metric snapshots to {path}"));
+        } else {
+            warn(format_args!(
+                "{} metric snapshots collected (pass --metrics PATH to export them)",
+                snapshots.len()
+            ));
+        }
     }
     Ok(())
 }
@@ -436,6 +555,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_option_fails_with_suggestion() {
+        let err = run(&argv("density --file x.csv --windw 100")).unwrap_err();
+        assert!(err.contains("unknown option --windw"), "{err}");
+        assert!(err.contains("did you mean --window?"), "{err}");
+        // --events is rra/explain-only; density rejects it.
+        let err = run(&argv("density --file x.csv --events e.jsonl")).unwrap_err();
+        assert!(err.contains("unknown option --events"), "{err}");
+        // --metrics-every is stream-only.
+        let err = run(&argv("rra --file x.csv --metrics-every 100")).unwrap_err();
+        assert!(err.contains("unknown option --metrics-every"), "{err}");
+    }
+
+    #[test]
     fn demo_unknown_dataset_fails() {
         assert!(run(&argv("demo --dataset nope")).is_err());
     }
@@ -453,14 +585,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ecg.csv");
         gv_timeseries::write_csv_column(&path, &data.series).unwrap();
-        let base = format!(
-            "--file {} --window 120 --paa 4 --alphabet 4 --top 1 --width 50",
+        let core = format!(
+            "--file {} --window 120 --paa 4 --alphabet 4",
             path.display()
         );
+        let base = format!("{core} --top 1 --width 50");
         assert!(run(&argv(&format!("density {base}"))).is_ok());
         assert!(run(&argv(&format!("rra {base}"))).is_ok());
-        assert!(run(&argv(&format!("grammar {base}"))).is_ok());
-        assert!(run(&argv(&format!("motifs {base}"))).is_ok());
+        assert!(run(&argv(&format!("grammar {core}"))).is_ok());
+        assert!(run(&argv(&format!("motifs {core} --top 1"))).is_ok());
         assert!(run(&argv(&format!(
             "wcad --file {} --window 120",
             path.display()
@@ -472,7 +605,11 @@ mod tests {
         )))
         .is_ok());
         let out = dir.join("export.csv");
-        assert!(run(&argv(&format!("export {base} --out {}", out.display()))).is_ok());
+        assert!(run(&argv(&format!(
+            "export {core} --top 1 --out {}",
+            out.display()
+        )))
+        .is_ok());
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.starts_with("value,density"));
         assert_eq!(text.lines().count(), 2301); // header + 2300 rows
@@ -488,7 +625,7 @@ mod tests {
         )))
         .is_ok());
         let dot_out = dir.join("grammar.dot");
-        assert!(run(&argv(&format!("dot {base} --out {}", dot_out.display()))).is_ok());
+        assert!(run(&argv(&format!("dot {core} --out {}", dot_out.display()))).is_ok());
         let dot_text = std::fs::read_to_string(&dot_out).unwrap();
         assert!(dot_text.starts_with("digraph grammar {"));
         // Instrumented runs: --trace is stderr-only; --metrics appends one
@@ -509,9 +646,52 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("\"label\":\"density\""));
         assert!(text.contains("\"label\":\"rra\""));
+        assert!(text.lines().all(|l| {
+            l.starts_with("{\"schema\":2,") && l.ends_with('}') && l.contains("\"distance_calls\":")
+        }));
+        // explain: provenance table on stdout, full JSONL stream to --events.
+        let events = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&events);
+        assert!(run(&argv(&format!(
+            "explain {core} --top 1 --events {}",
+            events.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&events).unwrap();
+        assert!(text.lines().count() > 2);
+        assert!(text.contains("\"type\":\"explain\""));
+        assert!(text.contains("\"type\":\"event\""));
+        assert!(text.contains("\"type\":\"explain_summary\""));
         assert!(text
             .lines()
-            .all(|l| l.starts_with('{') && l.ends_with('}') && l.contains("\"distance_calls\":")));
+            .all(|l| l.starts_with("{\"schema\":2,") && l.ends_with('}')));
+        // rra --events appends raw event lines too.
+        let rra_events = dir.join("rra_events.jsonl");
+        let _ = std::fs::remove_file(&rra_events);
+        assert!(run(&argv(&format!(
+            "rra {base} --events {}",
+            rra_events.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&rra_events).unwrap();
+        assert!(!text.is_empty());
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":2,\"type\":\"event\"") && l.ends_with('}')));
+        // stream --metrics-every exports a snapshot trajectory.
+        let stream_metrics = dir.join("stream_metrics.jsonl");
+        let _ = std::fs::remove_file(&stream_metrics);
+        assert!(run(&argv(&format!(
+            "stream --file {} --window 120 --metrics-every 500 --metrics {}",
+            path.display(),
+            stream_metrics.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&stream_metrics).unwrap();
+        assert_eq!(text.lines().count(), 2300 / 500);
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":2,\"label\":\"stream\"")));
     }
 
     #[test]

@@ -64,6 +64,19 @@ impl RuleDensity {
         &self.curve
     }
 
+    /// The lowest density value inside `interval` (`None` when the
+    /// interval is empty or out of range) — e.g. the rule-density floor at
+    /// a reported discord.
+    pub fn min_in(&self, interval: &Interval) -> Option<i64> {
+        if interval.is_empty() || interval.end > self.curve.len() {
+            return None;
+        }
+        self.curve[interval.start..interval.end]
+            .iter()
+            .copied()
+            .min()
+    }
+
     /// All maximal runs of points with `density <= threshold` — the
     /// paper's fixed-threshold reporting mode.
     pub fn anomalies_below(&self, threshold: i64) -> Vec<Interval> {
@@ -166,6 +179,16 @@ mod tests {
         assert!(d.anomalies_below(-1).is_empty());
         // Threshold at the max covers everything.
         assert_eq!(d.anomalies_below(3), vec![Interval::new(0, 10)]);
+    }
+
+    #[test]
+    fn min_in_interval() {
+        let d = RuleDensity::from_curve(vec![3, 3, 1, 0, 2, 5]);
+        assert_eq!(d.min_in(&Interval::new(0, 2)), Some(3));
+        assert_eq!(d.min_in(&Interval::new(1, 5)), Some(0));
+        assert_eq!(d.min_in(&Interval::new(5, 6)), Some(5));
+        assert_eq!(d.min_in(&Interval::new(2, 2)), None);
+        assert_eq!(d.min_in(&Interval::new(4, 9)), None);
     }
 
     #[test]

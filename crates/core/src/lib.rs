@@ -45,6 +45,7 @@ mod config;
 mod density;
 mod error;
 pub mod evaluation;
+mod explain;
 mod intervals;
 mod model;
 pub mod motifs;
@@ -59,6 +60,7 @@ pub mod wcad;
 pub use config::PipelineConfig;
 pub use density::{DensityAnomaly, DensityReport, RuleDensity};
 pub use error::{Error, Result};
+pub use explain::{DiscordProvenance, ExplainReport};
 pub use intervals::{rule_intervals, RuleInterval};
 pub use model::GrammarModel;
 pub use motifs::{motifs, Motif};

@@ -1,12 +1,13 @@
 //! The end-to-end pipeline facade.
 
-use gv_obs::{time_stage, Counter, NoopRecorder, Recorder, Stage};
+use gv_obs::{time_stage, Counter, LocalRecorder, NoopRecorder, Recorder, Stage};
 use gv_sax::SaxDictionary;
 use gv_sequitur::Sequitur;
 
 use crate::config::PipelineConfig;
 use crate::density::{DensityReport, RuleDensity};
 use crate::error::Result;
+use crate::explain::ExplainReport;
 use crate::model::GrammarModel;
 use crate::rra::{self, RraReport};
 
@@ -131,6 +132,39 @@ impl AnomalyPipeline {
     ) -> Result<RraReport> {
         let model = self.model_with(values, recorder)?;
         rra::discords_with(values, &model, k, self.config.seed(), recorder)
+    }
+
+    /// Runs the RRA detector with full decision telemetry and joins the
+    /// event stream with the grammar model into a per-discord
+    /// [`ExplainReport`] (rule id, SAX word, frequency, siblings, distance
+    /// calls spent, rule-density floor).
+    ///
+    /// # Errors
+    /// Same as [`rra_discords`](Self::rra_discords).
+    pub fn explain(&self, values: &[f64], k: usize) -> Result<ExplainReport> {
+        self.explain_with(values, k, &NoopRecorder)
+    }
+
+    /// [`explain`](Self::explain), additionally publishing the run's
+    /// counters, timings, histograms, and events to `recorder` (detail
+    /// flows through only when `recorder.detailed()`).
+    ///
+    /// # Errors
+    /// Same as [`explain`](Self::explain).
+    pub fn explain_with<R: Recorder>(
+        &self,
+        values: &[f64],
+        k: usize,
+        recorder: &R,
+    ) -> Result<ExplainReport> {
+        // Always collect detail locally — the join needs the events even
+        // when the caller's sink is a Noop.
+        let local = LocalRecorder::new();
+        let model = self.model_with(values, &local)?;
+        let report = rra::discords_with(values, &model, k, self.config.seed(), &local)?;
+        let explain = ExplainReport::from_run(&model, &report, &local);
+        local.merge_into(recorder);
+        Ok(explain)
     }
 }
 

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use gv_discord::{distance, DiscordRecord, SearchStats};
-use gv_obs::{Counter, LocalRecorder, NoopRecorder, Recorder, Stage};
+use gv_obs::{Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, Stage};
 use gv_sequitur::RuleId;
 use gv_timeseries::{resample_to, znorm, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
@@ -162,7 +162,15 @@ pub fn discords_with_options_recorded<R: Recorder>(
     if candidates.len() < 2 {
         return Err(Error::NoCandidates);
     }
-    let local = LocalRecorder::new();
+    // The search-local tally only keeps decision-level detail (events,
+    // histograms, per-call timings) when the caller's sink wants it;
+    // otherwise it counts like PR 1 — no clock reads on the distance path.
+    let detail = recorder.detailed();
+    let local = if detail {
+        LocalRecorder::new()
+    } else {
+        LocalRecorder::counters_only()
+    };
     let timing = recorder.enabled();
     let outer_started = timing.then(Instant::now);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -222,6 +230,18 @@ pub fn discords_with_options_recorded<R: Recorder>(
                 }
             }
             local.incr(Counter::RraCandidates);
+            let calls_before = local.counter(Counter::DistanceCalls);
+            if detail {
+                local.record_value(Metric::CandidateLen, p_len as u64);
+                local.record_value(Metric::RuleUses, p.frequency as u64);
+                local.record_event(Event {
+                    position: p.interval.start as u64,
+                    length: p_len as u64,
+                    rule: p.rule.map(|r| r.0),
+                    frequency: p.frequency as u64,
+                    ..Event::new(EventKind::Visited)
+                });
+            }
             let p_z = znorm(
                 &values[p.interval.start..p.interval.end],
                 DEFAULT_ZNORM_THRESHOLD,
@@ -293,6 +313,26 @@ pub fn discords_with_options_recorded<R: Recorder>(
 
             if let Some(started) = inner_started {
                 local.record_duration(Stage::RraInner, started.elapsed().as_nanos() as u64);
+            }
+            if detail {
+                // A pruned candidate's `nearest` is finite by construction
+                // (it dropped below `best_so_far`); a completed one may
+                // have found no admissible match at all — encode that as
+                // -1.0 so the JSON stays finite.
+                let outcome = if pruned {
+                    EventKind::Pruned
+                } else {
+                    EventKind::Completed
+                };
+                local.record_event(Event {
+                    position: p.interval.start as u64,
+                    length: p_len as u64,
+                    rule: p.rule.map(|r| r.0),
+                    frequency: p.frequency as u64,
+                    calls: local.counter(Counter::DistanceCalls) - calls_before,
+                    value: if nearest.is_finite() { nearest } else { -1.0 },
+                    ..Event::new(outcome)
+                });
             }
             if pruned {
                 local.incr(Counter::CandidatesPruned);
@@ -580,6 +620,51 @@ mod tests {
         )
         .unwrap();
         assert!(full.stats.distance_calls <= naive.stats.distance_calls);
+    }
+
+    #[test]
+    fn events_account_for_every_distance_call() {
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let rec = LocalRecorder::new();
+        let report =
+            discords_with_options_recorded(&v, &cands, 2, 0, SearchOptions::default(), &rec)
+                .unwrap();
+        let events = rec.events_vec();
+        // Every distance call happens inside exactly one outer candidate's
+        // inner loop, so the per-outcome deltas must sum to the total.
+        let outcome_calls: u64 = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Pruned | EventKind::Completed))
+            .map(|e| e.calls)
+            .sum();
+        assert_eq!(outcome_calls, report.stats.distance_calls);
+        let visited = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Visited)
+            .count() as u64;
+        assert_eq!(visited, rec.counter(Counter::RraCandidates));
+        let abandoned = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Abandoned)
+            .count() as u64;
+        assert_eq!(abandoned, report.stats.early_abandoned);
+        // Histograms fill alongside the events.
+        assert_eq!(rec.histogram(Metric::CandidateLen).count(), visited);
+        assert_eq!(rec.histogram(Metric::RuleUses).count(), visited);
+        assert_eq!(
+            rec.histogram(Metric::DistanceNanos).count(),
+            report.stats.distance_calls
+        );
+        assert_eq!(rec.histogram(Metric::AbandonPos).count(), abandoned);
+        // Decision telemetry must not change the result.
+        let plain = discords_from_intervals(&v, &cands, 2, 0).unwrap();
+        assert_eq!(plain.discords.len(), report.discords.len());
+        for (a, b) in plain.discords.iter().zip(&report.discords) {
+            assert_eq!(a.position, b.position);
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use gv_obs::{time_stage, Counter, NoopRecorder, Recorder, Stage};
+use gv_obs::{time_stage, Counter, Event, EventKind, NoopRecorder, PipelineTrace, Recorder, Stage};
 use gv_sax::{NumerosityReduction, SaxDictionary, SaxRecord};
 use gv_sequitur::Sequitur;
 use gv_timeseries::{CoverageCounter, Interval};
@@ -50,6 +50,10 @@ pub struct StreamingDetector<R: Recorder = NoopRecorder> {
     /// Surviving records (post numerosity reduction), like the batch model.
     records: Vec<SaxRecord>,
     recorder: R,
+    /// Emit a metrics snapshot every this many points (`0`: never).
+    metrics_every: usize,
+    /// The periodic snapshots, oldest first.
+    snapshots: Vec<PipelineTrace>,
 }
 
 impl StreamingDetector<NoopRecorder> {
@@ -74,7 +78,34 @@ impl<R: Recorder> StreamingDetector<R> {
             sequitur: Sequitur::new(),
             records: Vec::new(),
             recorder,
+            metrics_every: 0,
+            snapshots: Vec::new(),
         }
+    }
+
+    /// Builder-style: emit a metrics snapshot every `n` pushed points
+    /// (`0` disables, the default). Each flush appends a [`PipelineTrace`]
+    /// labelled `"stream"` — stream length, surviving tokens, and grammar
+    /// churn so far — to [`snapshots`](StreamingDetector::snapshots), and
+    /// records an [`EventKind::Flush`] event on the recorder, so a
+    /// long-running monitor produces a time-resolved metric trajectory
+    /// instead of one final record.
+    #[must_use]
+    pub fn metrics_every(mut self, n: usize) -> Self {
+        self.metrics_every = n;
+        self
+    }
+
+    /// The periodic metrics snapshots accumulated so far, oldest first
+    /// (empty unless [`metrics_every`](StreamingDetector::metrics_every)
+    /// was configured).
+    pub fn snapshots(&self) -> &[PipelineTrace] {
+        &self.snapshots
+    }
+
+    /// Drains the accumulated snapshots (e.g. after exporting them).
+    pub fn take_snapshots(&mut self) -> Vec<PipelineTrace> {
+        std::mem::take(&mut self.snapshots)
     }
 
     /// The recorder this detector reports into.
@@ -140,6 +171,29 @@ impl<R: Recorder> StreamingDetector<R> {
         } else {
             self.recorder.incr(Counter::WordsDropped);
         }
+        if self.metrics_every > 0 && self.seen.is_multiple_of(self.metrics_every) {
+            self.flush_metrics();
+        }
+    }
+
+    /// Builds one periodic snapshot from the detector's own state (the
+    /// recorder is generic and may be a sink that cannot be read back).
+    fn flush_metrics(&mut self) {
+        let stats = self.sequitur.stats();
+        let mut trace = PipelineTrace::new("stream")
+            .with_param("seen", self.seen as u64)
+            .with_param("tokens", self.records.len() as u64)
+            .with_param("flush", self.snapshots.len() as u64 + 1);
+        trace.counters[Counter::RulesCreated.index()] = stats.rules_created;
+        trace.counters[Counter::RulesDeleted.index()] = stats.rules_deleted;
+        trace.counters[Counter::PeakDigramEntries.index()] = stats.peak_digram_entries;
+        self.snapshots.push(trace);
+        self.recorder.record_event(Event {
+            position: self.seen as u64,
+            length: self.metrics_every as u64,
+            calls: self.records.len() as u64,
+            ..Event::new(EventKind::Flush)
+        });
     }
 
     /// Snapshots the current grammar model over everything seen so far.
@@ -301,6 +355,47 @@ mod tests {
             "alert must not vanish as the stream grows"
         );
         assert!(hit(&later), "mature anomaly must be alerted: {later:?}");
+    }
+
+    #[test]
+    fn metrics_every_emits_periodic_snapshots() {
+        use gv_obs::LocalRecorder;
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::with_recorder(config.clone(), LocalRecorder::new())
+            .metrics_every(200);
+        for i in 0..1000usize {
+            det.push((i as f64 / 12.0).sin());
+        }
+        assert_eq!(det.snapshots().len(), 5);
+        for (i, snap) in det.snapshots().iter().enumerate() {
+            assert_eq!(snap.label, "stream");
+            let seen = snap.params.iter().find(|(k, _)| k == "seen").unwrap().1;
+            assert_eq!(seen, 200 * (i as u64 + 1));
+            assert!(snap.to_jsonl().starts_with("{\"schema\":2,"));
+        }
+        // Monotone token counts across flushes.
+        let tokens: Vec<u64> = det
+            .snapshots()
+            .iter()
+            .map(|s| s.params.iter().find(|(k, _)| k == "tokens").unwrap().1)
+            .collect();
+        assert!(tokens.windows(2).all(|w| w[0] <= w[1]));
+        // One Flush event per snapshot on the recorder.
+        let flushes = det
+            .recorder()
+            .events_vec()
+            .iter()
+            .filter(|e| e.kind == EventKind::Flush)
+            .count();
+        assert_eq!(flushes, 5);
+        // Snapshots must not perturb the model: same tokens as a plain run.
+        let mut plain = StreamingDetector::new(config);
+        for i in 0..1000usize {
+            plain.push((i as f64 / 12.0).sin());
+        }
+        assert_eq!(plain.num_tokens(), det.num_tokens());
+        assert_eq!(det.take_snapshots().len(), 5);
+        assert!(det.snapshots().is_empty());
     }
 
     #[test]

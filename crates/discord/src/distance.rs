@@ -9,7 +9,27 @@
 //! single-threaded case and is the *only* counting path — its accessors
 //! read the recorder rather than keeping parallel tallies.
 
-use gv_obs::{Counter, LocalRecorder, Recorder};
+use gv_obs::{Counter, Event, EventKind, LocalRecorder, Metric, Recorder};
+use std::time::Instant;
+
+/// Starts a per-call timer only when the recorder asks for decision-level
+/// detail: `Recorder::detailed()` is a compile-time `false` on
+/// `NoopRecorder`, so the uninstrumented kernels never read the clock.
+#[inline]
+fn detail_timer<R: Recorder>(recorder: &R) -> Option<Instant> {
+    if recorder.detailed() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn finish_timer<R: Recorder>(recorder: &R, started: Option<Instant>) {
+    if let Some(t0) = started {
+        recorder.record_value(Metric::DistanceNanos, t0.elapsed().as_nanos() as u64);
+    }
+}
 
 /// Full Euclidean distance between equal-length slices, counted as one
 /// distance call on `recorder`.
@@ -19,11 +39,13 @@ use gv_obs::{Counter, LocalRecorder, Recorder};
 pub fn euclidean<R: Recorder>(recorder: &R, a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
     recorder.incr(Counter::DistanceCalls);
+    let started = detail_timer(recorder);
     let mut sum = 0.0;
     for (&x, &y) in a.iter().zip(b) {
         let d = x - y;
         sum += d * d;
     }
+    finish_timer(recorder, started);
     sum.sqrt()
 }
 
@@ -44,6 +66,7 @@ pub fn euclidean_early<R: Recorder>(
 ) -> Option<f64> {
     assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
     recorder.incr(Counter::DistanceCalls);
+    let started = detail_timer(recorder);
     let limit_sq = if abandon_at.is_finite() {
         abandon_at * abandon_at
     } else {
@@ -63,9 +86,20 @@ pub fn euclidean_early<R: Recorder>(
         }
         if sum >= limit_sq {
             recorder.incr(Counter::EarlyAbandons);
+            if started.is_some() {
+                finish_timer(recorder, started);
+                recorder.record_value(Metric::AbandonPos, i as u64);
+                recorder.record_event(Event {
+                    position: i as u64,
+                    length: n as u64,
+                    value: abandon_at,
+                    ..Event::new(EventKind::Abandoned)
+                });
+            }
             return None;
         }
     }
+    finish_timer(recorder, started);
     Some(sum.sqrt())
 }
 
@@ -95,15 +129,27 @@ pub fn normalized_euclidean_early<R: Recorder>(
 
 /// A distance-call meter: a [`LocalRecorder`] dressed up with the kernel
 /// methods, for searches that own their counting.
-#[derive(Debug, Clone, Default)]
+///
+/// The backing recorder is [`LocalRecorder::counters_only`] — a meter
+/// counts calls and abandons but never times individual calls, so the
+/// brute-force and HOTSAX hot loops stay free of per-call clock reads.
+#[derive(Debug, Clone)]
 pub struct DistanceMeter {
     recorder: LocalRecorder,
+}
+
+impl Default for DistanceMeter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DistanceMeter {
     /// A fresh meter.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            recorder: LocalRecorder::counters_only(),
+        }
     }
 
     /// Total distance-function calls so far (completed + abandoned).
@@ -257,5 +303,40 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         DistanceMeter::new().euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn detailed_recorder_gets_timings_and_abandon_events() {
+        let rec = LocalRecorder::new();
+        let a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        b[0] = 10.0;
+        assert!(euclidean_early(&rec, &a, &b, 5.0).is_none());
+        assert!(euclidean_early(&rec, &a, &b, 50.0).is_some());
+        let _ = euclidean(&rec, &a, &b);
+        // Three calls, three per-call timings.
+        assert_eq!(rec.histogram(Metric::DistanceNanos).count(), 3);
+        // One abandon: prefix position recorded and a structured event.
+        assert_eq!(rec.histogram(Metric::AbandonPos).count(), 1);
+        let events = rec.events_vec();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Abandoned);
+        assert_eq!(events[0].length, 64);
+        assert!(events[0].position >= 1 && events[0].position <= 64);
+        assert!((events[0].value - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_and_counters_only_skip_detail() {
+        let mut m = DistanceMeter::new();
+        let a = vec![0.0; 32];
+        let mut b = vec![0.0; 32];
+        b[0] = 10.0;
+        assert!(m.euclidean_early(&a, &b, 1.0).is_none());
+        assert_eq!(m.calls(), 1);
+        assert_eq!(m.abandoned(), 1);
+        assert!(m.recorder().histogram(Metric::DistanceNanos).is_empty());
+        assert!(m.recorder().histogram(Metric::AbandonPos).is_empty());
+        assert!(m.recorder().events().is_empty());
     }
 }

@@ -1,15 +1,24 @@
 //! [`CollectingRecorder`]: the shareable, thread-safe recorder.
 
+use crate::event::{Event, EventRing};
+use crate::histogram::Histogram;
 use crate::recorder::Recorder;
-use crate::stage::{Counter, Stage};
+use crate::stage::{Counter, Metric, Stage};
 use crate::trace::PipelineTrace;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An atomics-backed recorder behind an `Arc`: `Clone` hands out another
 /// handle to the same tallies, so the parallel sweep's worker threads (and
-/// any future async runners) can all feed one sink. All operations use
-/// relaxed ordering — counters are statistics, not synchronization.
+/// any future async runners) can all feed one sink. All counter/timer
+/// operations use relaxed ordering — counters are statistics, not
+/// synchronization.
+///
+/// Histograms and the event ring sit behind `Mutex`es. That is fine
+/// because hot loops tally into a [`LocalRecorder`](crate::LocalRecorder)
+/// and publish here once at the loop boundary (one whole-histogram merge,
+/// one event replay), so the locks are taken a handful of times per run,
+/// not per distance call.
 #[derive(Debug, Clone, Default)]
 pub struct CollectingRecorder {
     inner: Arc<Inner>,
@@ -19,6 +28,8 @@ pub struct CollectingRecorder {
 struct Inner {
     counters: [AtomicU64; Counter::COUNT],
     stages: [AtomicU64; Stage::COUNT],
+    histograms: Mutex<[Histogram; Metric::COUNT]>,
+    events: Mutex<EventRing>,
 }
 
 impl Default for Inner {
@@ -26,6 +37,8 @@ impl Default for Inner {
         Self {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             stages: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: Mutex::new(std::array::from_fn(|_| Histogram::new())),
+            events: Mutex::new(EventRing::new()),
         }
     }
 }
@@ -46,7 +59,23 @@ impl CollectingRecorder {
         self.inner.stages[stage.index()].load(Ordering::Relaxed)
     }
 
-    /// Resets every counter and timer to zero.
+    /// A clone of one metric's histogram.
+    pub fn histogram(&self, metric: Metric) -> Histogram {
+        self.inner.histograms.lock().unwrap()[metric.index()].clone()
+    }
+
+    /// The recorded events as an owned vector, oldest first.
+    pub fn events_vec(&self) -> Vec<Event> {
+        self.inner.events.lock().unwrap().to_vec()
+    }
+
+    /// Total events recorded and events lost to ring overwrites.
+    pub fn events_recorded_dropped(&self) -> (u64, u64) {
+        let ring = self.inner.events.lock().unwrap();
+        (ring.recorded(), ring.dropped())
+    }
+
+    /// Resets every counter, timer, histogram, and event to zero.
     pub fn reset(&self) {
         for c in &self.inner.counters {
             c.store(0, Ordering::Relaxed);
@@ -54,15 +83,21 @@ impl CollectingRecorder {
         for s in &self.inner.stages {
             s.store(0, Ordering::Relaxed);
         }
+        for h in self.inner.histograms.lock().unwrap().iter_mut() {
+            *h = Histogram::new();
+        }
+        self.inner.events.lock().unwrap().clear();
     }
 
     /// Snapshots the current state into a labelled [`PipelineTrace`].
     pub fn snapshot(&self, label: impl Into<String>) -> PipelineTrace {
+        let histograms = self.inner.histograms.lock().unwrap();
         PipelineTrace {
             label: label.into(),
             params: Vec::new(),
             stage_nanos: std::array::from_fn(|i| self.inner.stages[i].load(Ordering::Relaxed)),
             counters: std::array::from_fn(|i| self.inner.counters[i].load(Ordering::Relaxed)),
+            histograms: std::array::from_fn(|i| histograms[i].clone()),
         }
     }
 }
@@ -87,11 +122,27 @@ impl Recorder for CollectingRecorder {
     fn record_duration(&self, stage: Stage, nanos: u64) {
         self.inner.stages[stage.index()].fetch_add(nanos, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn record_value(&self, metric: Metric, value: u64) {
+        self.inner.histograms.lock().unwrap()[metric.index()].record(value);
+    }
+
+    #[inline]
+    fn record_event(&self, event: Event) {
+        self.inner.events.lock().unwrap().push(event);
+    }
+
+    #[inline]
+    fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
+        self.inner.histograms.lock().unwrap()[metric.index()].merge(histogram);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EventKind;
 
     #[test]
     fn clones_share_tallies() {
@@ -103,6 +154,10 @@ mod tests {
         rec.update_max(Counter::PeakDigramEntries, 4);
         other.update_max(Counter::PeakDigramEntries, 2);
         assert_eq!(other.counter(Counter::PeakDigramEntries), 4);
+        other.record_value(Metric::CandidateLen, 64);
+        assert_eq!(rec.histogram(Metric::CandidateLen).count(), 1);
+        other.record_event(Event::new(EventKind::Flush));
+        assert_eq!(rec.events_vec().len(), 1);
     }
 
     #[test]
@@ -112,23 +167,38 @@ mod tests {
             for _ in 0..4 {
                 let handle = rec.clone();
                 scope.spawn(move || {
-                    for _ in 0..10_000 {
+                    for i in 0..10_000u64 {
                         handle.incr(Counter::RraCandidates);
+                        if i < 100 {
+                            handle.record_value(Metric::RuleUses, i);
+                            handle.record_event(Event::new(EventKind::Visited));
+                        }
                     }
                 });
             }
         });
         assert_eq!(rec.counter(Counter::RraCandidates), 40_000);
+        assert_eq!(rec.histogram(Metric::RuleUses).count(), 400);
+        assert_eq!(rec.events_vec().len(), 400);
+        let (recorded, dropped) = rec.events_recorded_dropped();
+        assert_eq!(recorded, 400);
+        assert_eq!(dropped, 0);
     }
 
     #[test]
-    fn snapshot_captures_stages() {
+    fn snapshot_captures_stages_and_histograms() {
         let rec = CollectingRecorder::new();
         rec.record_duration(Stage::Discretize, 1_000);
         rec.record_duration(Stage::Discretize, 500);
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        rec.record_histogram(Metric::DistanceNanos, &h);
         let trace = rec.snapshot("t");
         assert_eq!(trace.stage_nanos(Stage::Discretize), 1_500);
+        assert_eq!(trace.histogram(Metric::DistanceNanos).count(), 2);
         rec.reset();
         assert_eq!(rec.stage_nanos(Stage::Discretize), 0);
+        assert!(rec.histogram(Metric::DistanceNanos).is_empty());
     }
 }

@@ -38,14 +38,28 @@
 //! assert!(trace.to_jsonl().contains("\"distance_calls\":45"));
 //! ```
 
+//! ## Level 2: decision-level telemetry
+//!
+//! On top of the PR-1 counters, recorders can capture *distributions* and
+//! *decisions*: a log-linear [`Histogram`] per [`Metric`] (per-call
+//! distance nanoseconds, candidate lengths, rule-use counts, abandon
+//! positions) and a bounded [`EventRing`] of structured [`Event`]s from
+//! the RRA loops and streaming flushes. Both gate on
+//! [`Recorder::detailed`], which is `false` on [`NoopRecorder`], so the
+//! uninstrumented hot path still never reads the clock.
+
 mod collecting;
+mod event;
+mod histogram;
 mod local;
 mod recorder;
 mod stage;
 mod trace;
 
 pub use collecting::CollectingRecorder;
+pub use event::{Event, EventKind, EventRing};
+pub use histogram::Histogram;
 pub use local::LocalRecorder;
 pub use recorder::{time_stage, NoopRecorder, Recorder};
-pub use stage::{Counter, Stage};
-pub use trace::PipelineTrace;
+pub use stage::{Counter, Metric, Stage};
+pub use trace::{PipelineTrace, SCHEMA_VERSION};

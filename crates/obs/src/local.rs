@@ -1,27 +1,62 @@
 //! [`LocalRecorder`]: the single-threaded recorder for hot loops.
 
+use crate::event::{Event, EventRing};
+use crate::histogram::Histogram;
 use crate::recorder::Recorder;
-use crate::stage::{Counter, Stage};
+use crate::stage::{Counter, Metric, Stage};
 use crate::trace::PipelineTrace;
-use std::cell::Cell;
+use std::cell::{Cell, Ref, RefCell};
 
 /// A `Cell`-backed recorder: increments are plain loads and stores, so
 /// counting inside a tight loop costs the same as maintaining an ad-hoc
 /// `u64` — which is exactly what the distance kernels did before this
 /// crate existed.
 ///
+/// Histograms and events live behind `RefCell`s, borrowed only for the
+/// duration of one `record_*` call; [`LocalRecorder::counters_only`]
+/// builds a recorder with `detailed() == false` so a loop-local tally
+/// (e.g. RRA's internal stats recorder) skips the detail work — and the
+/// per-call clock reads gated on it — when nobody upstream wants it.
+///
 /// Not `Sync`; use [`CollectingRecorder`](crate::CollectingRecorder) when
 /// threads share a sink.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LocalRecorder {
     counters: [Cell<u64>; Counter::COUNT],
     stages: [Cell<u64>; Stage::COUNT],
+    histograms: RefCell<[Histogram; Metric::COUNT]>,
+    events: RefCell<EventRing>,
+    detailed: bool,
+}
+
+impl Default for LocalRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LocalRecorder {
-    /// A recorder with all counters and timers at zero.
+    /// A recorder with all counters and timers at zero and decision-level
+    /// detail (histograms, events) enabled.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_detail(true)
+    }
+
+    /// A recorder that keeps aggregate counters and stage timers but
+    /// ignores histograms and events (`detailed() == false`), so hot paths
+    /// skip per-call clock reads and event construction.
+    pub fn counters_only() -> Self {
+        Self::with_detail(false)
+    }
+
+    fn with_detail(detailed: bool) -> Self {
+        Self {
+            counters: std::array::from_fn(|_| Cell::new(0)),
+            stages: std::array::from_fn(|_| Cell::new(0)),
+            histograms: RefCell::new(std::array::from_fn(|_| Histogram::new())),
+            events: RefCell::new(EventRing::new()),
+            detailed,
+        }
     }
 
     /// Current value of one counter.
@@ -34,7 +69,23 @@ impl LocalRecorder {
         self.stages[stage.index()].get()
     }
 
-    /// Resets every counter and timer to zero.
+    /// A clone of one metric's histogram.
+    pub fn histogram(&self, metric: Metric) -> Histogram {
+        self.histograms.borrow()[metric.index()].clone()
+    }
+
+    /// The recorded events (shared borrow of the ring; release it before
+    /// recording more).
+    pub fn events(&self) -> Ref<'_, EventRing> {
+        self.events.borrow()
+    }
+
+    /// The recorded events as an owned vector, oldest first.
+    pub fn events_vec(&self) -> Vec<Event> {
+        self.events.borrow().to_vec()
+    }
+
+    /// Resets every counter, timer, histogram, and event to zero.
     pub fn reset(&self) {
         for c in &self.counters {
             c.set(0);
@@ -42,12 +93,17 @@ impl LocalRecorder {
         for s in &self.stages {
             s.set(0);
         }
+        for h in self.histograms.borrow_mut().iter_mut() {
+            *h = Histogram::new();
+        }
+        self.events.borrow_mut().clear();
     }
 
     /// Folds this recorder's totals into another recorder — sums for
-    /// ordinary counters and durations, max for high-water marks. Used to
-    /// publish a hot loop's local tallies to the caller's sink once, at
-    /// the loop boundary.
+    /// ordinary counters and durations, max for high-water marks, merges
+    /// for histograms, replayed pushes for events. Used to publish a hot
+    /// loop's local tallies to the caller's sink once, at the loop
+    /// boundary.
     pub fn merge_into<R: Recorder>(&self, target: &R) {
         for c in Counter::ALL {
             let v = self.counter(c);
@@ -66,15 +122,29 @@ impl LocalRecorder {
                 target.record_duration(s, nanos);
             }
         }
+        if target.detailed() {
+            let histograms = self.histograms.borrow();
+            for m in Metric::ALL {
+                let h = &histograms[m.index()];
+                if !h.is_empty() {
+                    target.record_histogram(m, h);
+                }
+            }
+            for event in self.events.borrow().iter() {
+                target.record_event(*event);
+            }
+        }
     }
 
     /// Snapshots the current state into a labelled [`PipelineTrace`].
     pub fn snapshot(&self, label: impl Into<String>) -> PipelineTrace {
+        let histograms = self.histograms.borrow();
         PipelineTrace {
             label: label.into(),
             params: Vec::new(),
             stage_nanos: std::array::from_fn(|i| self.stages[i].get()),
             counters: std::array::from_fn(|i| self.counters[i].get()),
+            histograms: std::array::from_fn(|i| histograms[i].clone()),
         }
     }
 }
@@ -102,11 +172,38 @@ impl Recorder for LocalRecorder {
         let cell = &self.stages[stage.index()];
         cell.set(cell.get() + nanos);
     }
+
+    #[inline]
+    fn detailed(&self) -> bool {
+        self.detailed
+    }
+
+    #[inline]
+    fn record_value(&self, metric: Metric, value: u64) {
+        if self.detailed {
+            self.histograms.borrow_mut()[metric.index()].record(value);
+        }
+    }
+
+    #[inline]
+    fn record_event(&self, event: Event) {
+        if self.detailed {
+            self.events.borrow_mut().push(event);
+        }
+    }
+
+    #[inline]
+    fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
+        if self.detailed {
+            self.histograms.borrow_mut()[metric.index()].merge(histogram);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EventKind;
 
     #[test]
     fn counts_and_maxes() {
@@ -138,5 +235,60 @@ mod tests {
         assert_eq!(b.counter(Counter::DistanceCalls), 15);
         assert_eq!(b.counter(Counter::PeakDigramEntries), 9);
         assert_eq!(b.stage_nanos(Stage::RraInner), 500);
+    }
+
+    #[test]
+    fn records_histograms_and_events() {
+        let rec = LocalRecorder::new();
+        assert!(rec.detailed());
+        rec.record_value(Metric::CandidateLen, 120);
+        rec.record_value(Metric::CandidateLen, 80);
+        rec.record_event(Event {
+            position: 42,
+            ..Event::new(EventKind::Visited)
+        });
+        assert_eq!(rec.histogram(Metric::CandidateLen).count(), 2);
+        assert_eq!(rec.histogram(Metric::CandidateLen).max(), 120);
+        assert_eq!(rec.events_vec().len(), 1);
+        assert_eq!(rec.events_vec()[0].position, 42);
+        let trace = rec.snapshot("t");
+        assert_eq!(trace.histogram(Metric::CandidateLen).count(), 2);
+        rec.reset();
+        assert!(rec.histogram(Metric::CandidateLen).is_empty());
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn counters_only_skips_detail() {
+        let rec = LocalRecorder::counters_only();
+        assert!(rec.enabled());
+        assert!(!rec.detailed());
+        rec.record_value(Metric::DistanceNanos, 99);
+        rec.record_event(Event::new(EventKind::Abandoned));
+        rec.record_histogram(Metric::DistanceNanos, &{
+            let mut h = Histogram::new();
+            h.record(1);
+            h
+        });
+        assert!(rec.histogram(Metric::DistanceNanos).is_empty());
+        assert!(rec.events().is_empty());
+        // Counters still work.
+        rec.incr(Counter::DistanceCalls);
+        assert_eq!(rec.counter(Counter::DistanceCalls), 1);
+    }
+
+    #[test]
+    fn merge_carries_detail_to_detailed_targets_only() {
+        let src = LocalRecorder::new();
+        src.record_value(Metric::RuleUses, 3);
+        src.record_event(Event::new(EventKind::Completed));
+        let detailed = LocalRecorder::new();
+        src.merge_into(&detailed);
+        assert_eq!(detailed.histogram(Metric::RuleUses).count(), 1);
+        assert_eq!(detailed.events_vec().len(), 1);
+        let coarse = LocalRecorder::counters_only();
+        src.merge_into(&coarse);
+        assert!(coarse.histogram(Metric::RuleUses).is_empty());
+        assert!(coarse.events().is_empty());
     }
 }

@@ -1,6 +1,8 @@
 //! The [`Recorder`] trait and the zero-cost [`NoopRecorder`].
 
-use crate::stage::{Counter, Stage};
+use crate::event::Event;
+use crate::histogram::Histogram;
+use crate::stage::{Counter, Metric, Stage};
 use std::time::Instant;
 
 /// A sink for pipeline instrumentation events.
@@ -29,6 +31,28 @@ pub trait Recorder {
     /// across multiple calls).
     fn record_duration(&self, stage: Stage, nanos: u64);
 
+    /// Whether decision-level detail (value histograms and events) should
+    /// be recorded. Per-call timing on the distance hot path gates on
+    /// this, so a recorder can collect aggregate counters without paying
+    /// for a clock read per distance call. Defaults to [`enabled`]
+    /// (enabled recorders want everything).
+    ///
+    /// [`enabled`]: Recorder::enabled
+    #[inline]
+    fn detailed(&self) -> bool {
+        self.enabled()
+    }
+
+    /// Records one sample into a value histogram.
+    fn record_value(&self, metric: Metric, value: u64);
+
+    /// Records one structured decision event.
+    fn record_event(&self, event: Event);
+
+    /// Merges a whole pre-aggregated histogram into a value histogram
+    /// (used when a loop-local recorder publishes to a caller's sink).
+    fn record_histogram(&self, metric: Metric, histogram: &Histogram);
+
     /// Adds 1 to a counter.
     #[inline]
     fn incr(&self, counter: Counter) {
@@ -56,6 +80,26 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn record_duration(&self, stage: Stage, nanos: u64) {
         (**self).record_duration(stage, nanos);
     }
+
+    #[inline]
+    fn detailed(&self) -> bool {
+        (**self).detailed()
+    }
+
+    #[inline]
+    fn record_value(&self, metric: Metric, value: u64) {
+        (**self).record_value(metric, value);
+    }
+
+    #[inline]
+    fn record_event(&self, event: Event) {
+        (**self).record_event(event);
+    }
+
+    #[inline]
+    fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
+        (**self).record_histogram(metric, histogram);
+    }
 }
 
 /// The default recorder: discards everything, compiles to nothing.
@@ -76,6 +120,20 @@ impl Recorder for NoopRecorder {
 
     #[inline(always)]
     fn record_duration(&self, _stage: Stage, _nanos: u64) {}
+
+    #[inline(always)]
+    fn detailed(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record_value(&self, _metric: Metric, _value: u64) {}
+
+    #[inline(always)]
+    fn record_event(&self, _event: Event) {}
+
+    #[inline(always)]
+    fn record_histogram(&self, _metric: Metric, _histogram: &Histogram) {}
 }
 
 /// Runs `f`, attributing its wall-clock time to `stage`.
@@ -103,10 +161,14 @@ mod tests {
     fn noop_is_disabled_and_silent() {
         let rec = NoopRecorder;
         assert!(!rec.enabled());
+        assert!(!rec.detailed());
         rec.add(Counter::DistanceCalls, 5);
         rec.incr(Counter::DistanceCalls);
         rec.update_max(Counter::PeakDigramEntries, 10);
         rec.record_duration(Stage::Density, 1000);
+        rec.record_value(crate::Metric::CandidateLen, 7);
+        rec.record_event(crate::Event::new(crate::EventKind::Visited));
+        rec.record_histogram(crate::Metric::AbandonPos, &crate::Histogram::new());
         let out = time_stage(&rec, Stage::Induce, || 42);
         assert_eq!(out, 42);
     }

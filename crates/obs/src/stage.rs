@@ -142,6 +142,55 @@ impl Counter {
     }
 }
 
+/// A named value distribution tracked as a [`Histogram`](crate::Histogram)
+/// — the decision-level metrics counters can't express (tails, not
+/// totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Wall-clock nanoseconds of one distance-kernel call (completed or
+    /// abandoned). Only measured when the recorder asks for detail — the
+    /// uninstrumented path never reads the clock.
+    DistanceNanos,
+    /// Length (in points) of each RRA outer candidate visited.
+    CandidateLen,
+    /// Rule-usage frequency of each RRA outer candidate visited (the
+    /// outer-ordering key; 0 for uncovered runs).
+    RuleUses,
+    /// Prefix index at which an early-abandoned distance call proved its
+    /// bound.
+    AbandonPos,
+}
+
+impl Metric {
+    /// Number of metrics (array dimension for recorders).
+    pub const COUNT: usize = 4;
+
+    /// All metrics, in declaration order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::DistanceNanos,
+        Metric::CandidateLen,
+        Metric::RuleUses,
+        Metric::AbandonPos,
+    ];
+
+    /// Dense index (0-based).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable machine-readable name (used as the JSONL key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::DistanceNanos => "distance_ns",
+            Metric::CandidateLen => "candidate_len",
+            Metric::RuleUses => "rule_uses",
+            Metric::AbandonPos => "abandon_pos",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +202,9 @@ mod tests {
         }
         for (i, c) in Counter::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
         }
     }
 
@@ -166,6 +218,10 @@ mod tests {
         counter_names.sort_unstable();
         counter_names.dedup();
         assert_eq!(counter_names.len(), Counter::COUNT);
+        let mut metric_names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        metric_names.sort_unstable();
+        metric_names.dedup();
+        assert_eq!(metric_names.len(), Metric::COUNT);
     }
 
     #[test]

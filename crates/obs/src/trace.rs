@@ -1,19 +1,27 @@
 //! [`PipelineTrace`]: a finished run's instrumentation snapshot, with a
 //! hand-rolled JSONL encoding and a text table rendering.
 
-use crate::stage::{Counter, Stage};
+use crate::histogram::Histogram;
+use crate::stage::{Counter, Metric, Stage};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Everything one instrumented run measured: per-stage wall-clock time and
-/// the hot-path counters, plus a free-form label and optional numeric
-/// parameters (window size, series length, …).
+/// Version number stamped into every JSONL record this crate emits (trace
+/// lines and [`Event`](crate::Event) lines alike). Bump it whenever the
+/// record shape changes so `BENCH_*.json` trajectory files stay comparable
+/// across PRs: 1 = PR-1 counters-only records, 2 = adds `schema` itself
+/// plus the `histograms` object and event records.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Everything one instrumented run measured: per-stage wall-clock time,
+/// the hot-path counters, and the value histograms, plus a free-form label
+/// and optional numeric parameters (window size, series length, …).
 ///
 /// The JSON encoding is hand-rolled because `gv-obs` must stay
 /// dependency-free (see the crate docs); the schema is documented in the
-/// README's Observability section and kept stable so `BENCH_*.json`
-/// trajectory files remain comparable across PRs.
+/// README's Observability section and versioned via [`SCHEMA_VERSION`] so
+/// `BENCH_*.json` trajectory files remain comparable across PRs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineTrace {
     /// What ran (e.g. `"density"`, `"rra"`, a bench fixture name).
@@ -24,6 +32,8 @@ pub struct PipelineTrace {
     pub stage_nanos: [u64; Stage::COUNT],
     /// Counter values, indexed by [`Counter::index`].
     pub counters: [u64; Counter::COUNT],
+    /// Value histograms, indexed by [`Metric::index`].
+    pub histograms: [Histogram; Metric::COUNT],
 }
 
 impl PipelineTrace {
@@ -34,6 +44,7 @@ impl PipelineTrace {
             params: Vec::new(),
             stage_nanos: [0; Stage::COUNT],
             counters: [0; Counter::COUNT],
+            histograms: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -52,6 +63,11 @@ impl PipelineTrace {
     /// Value of one counter.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
+    }
+
+    /// The histogram behind one metric.
+    pub fn histogram(&self, metric: Metric) -> &Histogram {
+        &self.histograms[metric.index()]
     }
 
     /// Total measured wall-clock time: the sum over non-nested stages
@@ -83,14 +99,16 @@ impl PipelineTrace {
 
     /// Encodes the trace as one JSON line (no trailing newline).
     ///
-    /// Schema: `{"label": str, "params": {name: int, ...},
+    /// Schema 2: `{"schema": 2, "label": str, "params": {name: int, ...},
     /// "stages_ns": {stage: int, ...}, "counters": {counter: int, ...},
+    /// "histograms": {metric: {"count","mean","p50","p90","p99","max"}, ...},
     /// "derived": {"total_ns": int, "nr_drop_ratio": float,
-    /// "early_abandon_ratio": float}}` — every stage and counter key is
-    /// always present so downstream tooling never needs missing-key logic.
+    /// "early_abandon_ratio": float}}` — every stage, counter, and metric
+    /// key is always present so downstream tooling never needs missing-key
+    /// logic.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::with_capacity(512);
-        out.push_str("{\"label\":");
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"schema\":{SCHEMA_VERSION},\"label\":");
         write_json_string(&self.label, &mut out);
         out.push_str(",\"params\":{");
         for (i, (name, value)) in self.params.iter().enumerate() {
@@ -113,6 +131,18 @@ impl PipelineTrace {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{}", counter.name(), self.counter(*counter));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, metric) in Metric::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{}",
+                metric.name(),
+                self.histogram(*metric).summary_json()
+            );
         }
         let _ = write!(
             out,
@@ -200,6 +230,30 @@ impl PipelineTrace {
             "early_abandon_ratio",
             100.0 * self.early_abandon_ratio()
         );
+        if Metric::ALL.iter().any(|m| !self.histogram(*m).is_empty()) {
+            let _ = writeln!(out, "  histograms");
+            let _ = writeln!(
+                out,
+                "    {:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "metric", "count", "p50", "p90", "p99", "max"
+            );
+            for metric in Metric::ALL {
+                let h = self.histogram(metric);
+                if h.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    metric.name(),
+                    group_thousands(h.count()),
+                    group_thousands(h.p50()),
+                    group_thousands(h.p90()),
+                    group_thousands(h.p99()),
+                    group_thousands(h.max())
+                );
+            }
+        }
         out
     }
 }
@@ -212,10 +266,16 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// Formats a finite float as a JSON number token (floats here are ratios in
-/// `[0, 1]`, so `{}`'s shortest round-trip form is always a valid token,
-/// modulo an integer-looking `0`/`1`).
-fn format_json_f64(x: f64) -> String {
+/// Formats a finite float as a JSON number token (floats here are ratios
+/// and means, so `{}`'s shortest round-trip form is always a valid token,
+/// modulo an integer-looking `0`/`1`). JSON has no NaN/Infinity tokens, so
+/// non-finite inputs — which only a misusing caller can produce — are
+/// coerced to `0.0`, loudly in debug builds.
+pub(crate) fn format_json_f64(x: f64) -> String {
+    if !x.is_finite() {
+        debug_assert!(x.is_finite(), "non-finite value {x} fed to JSON encoder");
+        return "0.0".to_string();
+    }
     let s = x.to_string();
     if s.contains(['.', 'e', 'E']) {
         s
@@ -283,6 +343,8 @@ mod tests {
         t.counters[Counter::WordsDropped.index()] = 400;
         t.counters[Counter::DistanceCalls.index()] = 5000;
         t.counters[Counter::EarlyAbandons.index()] = 1250;
+        t.histograms[Metric::CandidateLen.index()].record(100);
+        t.histograms[Metric::CandidateLen.index()].record(250);
         t
     }
 
@@ -319,11 +381,23 @@ mod tests {
                 counter.name()
             );
         }
-        assert!(json.starts_with('{') && json.ends_with('}'));
+        for metric in Metric::ALL {
+            assert_eq!(
+                json.matches(&format!("\"{}\":", metric.name())).count(),
+                1,
+                "{}",
+                metric.name()
+            );
+        }
+        assert!(json.starts_with("{\"schema\":2,"));
+        assert!(json.ends_with('}'));
         assert!(!json.contains('\n'));
         assert!(json.contains("\"window\":100"));
         assert!(json.contains("\"total_ns\":7000000"));
         assert!(json.contains("\"nr_drop_ratio\":0.4"));
+        assert!(json.contains("\"candidate_len\":{\"count\":2,"));
+        // Empty histograms still serialize with every summary key present.
+        assert!(json.contains("\"distance_ns\":{\"count\":0,"));
     }
 
     #[test]
@@ -346,6 +420,32 @@ mod tests {
         assert!(table.contains("total"));
         assert!(table.contains("7.00 ms"));
         assert!(table.contains("5,000"));
+        // Only occupied histograms are listed.
+        assert!(table.contains("histograms"));
+        assert!(table.contains("candidate_len"));
+        assert!(!table.contains("abandon_pos"));
+    }
+
+    #[test]
+    fn json_floats_are_valid_tokens() {
+        assert_eq!(format_json_f64(0.25), "0.25");
+        assert_eq!(format_json_f64(3.0), "3.0");
+        assert_eq!(format_json_f64(1e-9), "0.000000001");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_floats_coerce_to_zero() {
+        assert_eq!(format_json_f64(f64::NAN), "0.0");
+        assert_eq!(format_json_f64(f64::INFINITY), "0.0");
+        assert_eq!(format_json_f64(f64::NEG_INFINITY), "0.0");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_assert_in_debug() {
+        let _ = format_json_f64(f64::NAN);
     }
 
     #[test]

@@ -176,6 +176,20 @@ macro_rules! serialize_int {
 }
 serialize_int!(i8, i16, i32, i64, isize);
 
+// Identity impls: `Value` is its own data model, so schema-agnostic
+// consumers (e.g. JSONL validators) can deserialize straight into it.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         if self.is_finite() {

@@ -1,11 +1,16 @@
 //! Online anomaly monitoring — the paper's §7 future-work direction in
 //! action: points arrive one at a time, and the detector raises an alert
-//! as soon as an incompressible region matures.
+//! as soon as an incompressible region matures. With
+//! `metrics_every(2000)` the detector also flushes a metrics snapshot
+//! every 2000 points, so a long-running monitor yields a time-resolved
+//! metric trajectory (grammar churn, surviving tokens) instead of one
+//! final record.
 //!
 //! ```text
 //! cargo run --release --example streaming_monitor
 //! ```
 
+use grammarviz::core::obs::LocalRecorder;
 use grammarviz::core::{PipelineConfig, StreamingDetector};
 use grammarviz::timeseries::Interval;
 
@@ -26,7 +31,8 @@ fn main() {
     };
 
     let config = PipelineConfig::new(100, 4, 4).expect("valid parameters");
-    let mut detector = StreamingDetector::new(config);
+    let mut detector =
+        StreamingDetector::with_recorder(config, LocalRecorder::new()).metrics_every(2000);
 
     println!("streaming 10,000 points; fault injected at {fault}\n");
     let mut first_alert: Option<(usize, Interval)> = None;
@@ -64,5 +70,15 @@ fn main() {
             );
         }
         None => println!("\nno alert raised — unexpected for this stream"),
+    }
+
+    // The periodic metric trajectory: one schema-2 JSONL record per flush
+    // (the CLI equivalent is `gv stream --metrics-every N --metrics PATH`).
+    println!(
+        "\nmetric trajectory ({} snapshots):",
+        detector.snapshots().len()
+    );
+    for snapshot in detector.snapshots() {
+        println!("  {}", snapshot.to_jsonl());
     }
 }

@@ -2,8 +2,11 @@
 //! results, the recorder and `SearchStats` must agree (one counting path),
 //! and the JSONL export must round-trip.
 
-use grammarviz::core::obs::{CollectingRecorder, Counter, NoopRecorder, PipelineTrace, Stage};
-use grammarviz::core::{rra, rule_intervals, AnomalyPipeline, PipelineConfig};
+use grammarviz::core::obs::{
+    CollectingRecorder, Counter, EventKind, LocalRecorder, Metric, NoopRecorder, PipelineTrace,
+    Recorder, Stage,
+};
+use grammarviz::core::{rra, rule_intervals, AnomalyPipeline, PipelineConfig, StreamingDetector};
 
 fn fixture() -> Vec<f64> {
     let mut values: Vec<f64> = (0..2000).map(|i| (i as f64 / 20.0).sin()).collect();
@@ -159,5 +162,156 @@ fn jsonl_snapshot_round_trips() {
     assert_eq!(
         trace.to_jsonl(),
         PipelineTrace { ..trace.clone() }.to_jsonl()
+    );
+}
+
+#[test]
+fn jsonl_exports_carry_schema_version() {
+    let values = fixture();
+    let p = pipeline();
+    let rec = CollectingRecorder::new();
+    p.rra_discords_with(&values, 1, &rec).unwrap();
+    let trace_line = rec.snapshot("schema").to_jsonl();
+    assert!(trace_line.starts_with("{\"schema\":2,"), "{trace_line}");
+    assert!(trace_line.contains("\"histograms\":{"), "{trace_line}");
+    assert_eq!(json_u64(&trace_line, "schema"), Some(2));
+
+    let explain = p.explain(&values, 1).unwrap();
+    assert_eq!(json_u64(&explain.rows[0].to_jsonl(), "schema"), Some(2));
+    assert_eq!(json_u64(&explain.summary_jsonl(), "schema"), Some(2));
+    assert!(!explain.events.is_empty());
+    for event in &explain.events {
+        assert_eq!(json_u64(&event.to_jsonl(), "schema"), Some(2));
+    }
+}
+
+/// The level-2 acceptance invariant: the per-decision event stream is a
+/// complete, independent ledger of the search's distance-call spend.
+#[test]
+fn explain_event_ledger_matches_search_stats() {
+    let values = fixture();
+    let p = pipeline();
+    let rec = CollectingRecorder::new();
+    let report = p.rra_discords_with(&values, 2, &rec).unwrap();
+    let explain = p
+        .explain_with(&values, 2, &CollectingRecorder::new())
+        .unwrap();
+
+    // Same deterministic search → identical stats; outcome-event deltas
+    // reconstruct the total exactly.
+    assert_eq!(explain.stats, report.stats);
+    assert_eq!(explain.events_dropped, 0);
+    assert_eq!(
+        explain.distance_calls_from_events(),
+        report.stats.distance_calls
+    );
+    // Histogram mass agrees with the counters too.
+    assert_eq!(explain.distance_ns.count(), report.stats.distance_calls);
+    assert_eq!(explain.abandon_pos.count(), report.stats.early_abandoned);
+    // One Visited event per outer candidate take-up, one outcome each.
+    let visited = explain
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Visited)
+        .count() as u64;
+    let outcomes = explain
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Pruned | EventKind::Completed))
+        .count() as u64;
+    assert_eq!(visited, outcomes);
+    assert_eq!(visited, rec.counter(Counter::RraCandidates));
+}
+
+/// Streaming detector results must be byte-identical across recorder
+/// choices, and the Noop path must never see the per-call clock.
+#[test]
+fn streaming_detector_is_recorder_neutral() {
+    let signal = |i: usize| {
+        if (900..960).contains(&i) {
+            0.0
+        } else {
+            (i as f64 / 12.0).sin()
+        }
+    };
+    let config = PipelineConfig::new(50, 4, 4).unwrap();
+
+    let mut noop = StreamingDetector::new(config.clone());
+    let mut local = StreamingDetector::with_recorder(config.clone(), LocalRecorder::new());
+    let shared = CollectingRecorder::new();
+    let mut collecting = StreamingDetector::with_recorder(config.clone(), shared.clone());
+    for i in 0..1500usize {
+        let v = signal(i);
+        noop.push(v);
+        local.push(v);
+        collecting.push(v);
+    }
+
+    // Byte-identical curves and alert rankings across all three recorders.
+    let reference = noop.density_curve();
+    assert_eq!(reference, local.density_curve());
+    assert_eq!(reference, collecting.density_curve());
+    let ref_alerts = noop.alerts(0, 100);
+    assert!(!ref_alerts.is_empty());
+    assert_eq!(ref_alerts, local.alerts(0, 100));
+    assert_eq!(ref_alerts, collecting.alerts(0, 100));
+
+    // Noop is statically detail-free: no clock reads on the value path.
+    assert!(!NoopRecorder.detailed());
+    assert!(!LocalRecorder::counters_only().detailed());
+
+    // A Collecting sink shared across threads tallies both streams.
+    let shared = CollectingRecorder::new();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let sink = shared.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut det = StreamingDetector::with_recorder(config, sink).metrics_every(500);
+                for i in 0..1500usize {
+                    det.push(signal(i));
+                }
+                assert_eq!(det.snapshots().len(), 3);
+            });
+        }
+    });
+    assert_eq!(
+        shared.counter(Counter::WindowsProcessed),
+        2 * (1500 - 50 + 1)
+    );
+    assert_eq!(
+        shared.counter(Counter::WordsEmitted) + shared.counter(Counter::WordsDropped),
+        shared.counter(Counter::WindowsProcessed)
+    );
+    // Each thread flushed 3 periodic snapshots → 6 Flush events.
+    let flushes = shared
+        .events_vec()
+        .iter()
+        .filter(|e| e.kind == EventKind::Flush)
+        .count();
+    assert_eq!(flushes, 6);
+}
+
+/// Detailed recorders get the per-call latency histogram; plain counters
+/// recorders stay histogram-free (the zero-overhead contract, level 2).
+#[test]
+fn detail_gating_controls_histograms() {
+    let values = fixture();
+    let p = pipeline();
+
+    let detailed = LocalRecorder::new();
+    p.rra_discords_with(&values, 1, &detailed).unwrap();
+    assert!(detailed.histogram(Metric::DistanceNanos).count() > 0);
+    assert!(detailed.histogram(Metric::CandidateLen).count() > 0);
+
+    let counters_only = LocalRecorder::counters_only();
+    p.rra_discords_with(&values, 1, &counters_only).unwrap();
+    assert_eq!(counters_only.histogram(Metric::DistanceNanos).count(), 0);
+    assert!(counters_only.events().is_empty());
+    // But the aggregate counters still flowed.
+    assert!(counters_only.counter(Counter::DistanceCalls) > 0);
+    assert_eq!(
+        counters_only.counter(Counter::DistanceCalls),
+        detailed.counter(Counter::DistanceCalls)
     );
 }
