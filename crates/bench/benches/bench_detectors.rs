@@ -8,8 +8,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gv_datasets::ecg::{ecg0606, EcgParams};
 use gv_datasets::telemetry::tek14;
-use gv_discord::{hotsax_discords, HotSaxConfig};
-use gva_core::{AnomalyPipeline, PipelineConfig};
+use gv_discord::HotSaxConfig;
+use gva_core::obs::NoopRecorder;
+use gva_core::{AnomalyPipeline, Detector, HotSaxDetector, PipelineConfig, SeriesView, Workspace};
 
 fn bench_ecg(c: &mut Criterion) {
     let data = ecg0606(EcgParams::default());
@@ -25,8 +26,14 @@ fn bench_ecg(c: &mut Criterion) {
     group.bench_function("rra", |b| {
         b.iter(|| pipeline.rra_discords(&values, 1).unwrap())
     });
+    let hotsax = HotSaxDetector::new(hs_cfg, 1);
+    let mut ws = Workspace::new();
     group.bench_function("hotsax", |b| {
-        b.iter(|| hotsax_discords(&values, &hs_cfg, 1).unwrap())
+        b.iter(|| {
+            hotsax
+                .detect(&SeriesView::new(&values), &mut ws, &NoopRecorder)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -45,8 +52,14 @@ fn bench_telemetry(c: &mut Criterion) {
     group.bench_function("rra", |b| {
         b.iter(|| pipeline.rra_discords(&values, 1).unwrap())
     });
+    let hotsax = HotSaxDetector::new(hs_cfg, 1);
+    let mut ws = Workspace::new();
     group.bench_function("hotsax", |b| {
-        b.iter(|| hotsax_discords(&values, &hs_cfg, 1).unwrap())
+        b.iter(|| {
+            hotsax
+                .detect(&SeriesView::new(&values), &mut ws, &NoopRecorder)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -3,9 +3,10 @@
 //! used to validate the synthetic datasets and algorithm wiring.
 
 use gv_datasets::table1;
-use gv_discord::{hotsax_discords, HotSaxConfig};
+use gv_discord::HotSaxConfig;
 use gv_timeseries::Interval;
-use gva_core::{AnomalyPipeline, PipelineConfig};
+use gva_core::obs::NoopRecorder;
+use gva_core::{AnomalyPipeline, Detector, HotSaxDetector, PipelineConfig, SeriesView, Workspace};
 
 fn main() {
     let scale = Some(20_000);
@@ -13,15 +14,19 @@ fn main() {
         "{:<28} {:>7} {:>7} {:>7}   rra top-3 (len) / truth",
         "dataset", "hs-hit", "rra-hit", "den-hit"
     );
+    let mut ws = Workspace::new();
     for row in table1::rows(scale) {
         let values = row.dataset.series.values();
         let slack = row.window;
 
         let hs_cfg = HotSaxConfig::new(row.window, row.paa.min(row.window), row.alphabet).unwrap();
-        let (hs, _) = hotsax_discords(values, &hs_cfg, 1).unwrap();
+        let hs = HotSaxDetector::new(hs_cfg, 1)
+            .detect(&SeriesView::new(values), &mut ws, &NoopRecorder)
+            .unwrap();
         let hs_hit = hs
+            .anomalies
             .first()
-            .map(|d| row.dataset.is_hit_with_slack(&d.interval(), slack))
+            .map(|a| row.dataset.is_hit_with_slack(&a.interval, slack))
             .unwrap_or(false);
 
         let pipeline =

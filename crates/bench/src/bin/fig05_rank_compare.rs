@@ -9,9 +9,10 @@
 //! ```
 
 use gv_datasets::ecg::ecg_record;
-use gv_discord::{hotsax_discords, HotSaxConfig};
+use gv_discord::HotSaxConfig;
 use gv_timeseries::Interval;
-use gva_core::{AnomalyPipeline, PipelineConfig};
+use gva_core::obs::NoopRecorder;
+use gva_core::{AnomalyPipeline, Detector, HotSaxDetector, PipelineConfig, SeriesView, Workspace};
 
 fn main() {
     let scale: usize = std::env::args()
@@ -24,7 +25,15 @@ fn main() {
     println!("Figure 5: HOTSAX vs RRA discord ranking on ECG 300 ({scale} points)\n");
 
     let hs_cfg = HotSaxConfig::new(300, 4, 4).expect("valid params");
-    let (hs, _) = hotsax_discords(values, &hs_cfg, 3).expect("series fits");
+    let hs = HotSaxDetector::new(hs_cfg, 3)
+        .detect(
+            &SeriesView::new(values),
+            &mut Workspace::new(),
+            &NoopRecorder,
+        )
+        .expect("series fits")
+        .to_rra()
+        .discords;
     let pipeline = AnomalyPipeline::new(PipelineConfig::new(300, 4, 4).expect("valid params"));
     let rra = pipeline.rra_discords(values, 3).expect("pipeline runs");
 

@@ -9,10 +9,11 @@
 //! ```
 
 use gv_datasets::table1;
-use gv_discord::{hotsax_discords, HotSaxConfig};
+use gv_discord::HotSaxConfig;
 use gv_timeseries::Interval;
 use gva_core::evaluation::evaluate;
-use gva_core::{AnomalyPipeline, PipelineConfig};
+use gva_core::obs::NoopRecorder;
+use gva_core::{AnomalyPipeline, Detector, HotSaxDetector, PipelineConfig, SeriesView, Workspace};
 
 fn main() {
     let scale = std::env::args()
@@ -27,14 +28,17 @@ fn main() {
     println!("{}", "-".repeat(74));
 
     let mut totals = [(0usize, 0usize); 3]; // (truths found, truths total)
+    let mut ws = Workspace::new();
     for row in table1::rows(Some(scale)) {
         let values = row.dataset.series.values();
         let truths: Vec<Interval> = row.dataset.anomalies.iter().map(|a| a.interval).collect();
         let slack = row.window;
 
         let hs_cfg = HotSaxConfig::new(row.window, row.paa.min(row.window), row.alphabet).unwrap();
-        let (hs, _) = hotsax_discords(values, &hs_cfg, 3).unwrap();
-        let hs_iv: Vec<Interval> = hs.iter().map(|d| d.interval()).collect();
+        let hs = HotSaxDetector::new(hs_cfg, 3)
+            .detect(&SeriesView::new(values), &mut ws, &NoopRecorder)
+            .unwrap();
+        let hs_iv: Vec<Interval> = hs.anomalies.iter().map(|a| a.interval).collect();
 
         let pipeline =
             AnomalyPipeline::new(PipelineConfig::new(row.window, row.paa, row.alphabet).unwrap());

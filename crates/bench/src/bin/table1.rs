@@ -16,9 +16,10 @@
 
 use gv_bench::report::{best_overlap_pct, hr, reduction_pct, thousands};
 use gv_datasets::table1;
-use gv_discord::{brute_force_call_count, hotsax_discords, HotSaxConfig};
+use gv_discord::{brute_force_call_count, HotSaxConfig};
 use gv_timeseries::Interval;
-use gva_core::{AnomalyPipeline, PipelineConfig};
+use gva_core::obs::NoopRecorder;
+use gva_core::{AnomalyPipeline, Detector, HotSaxDetector, PipelineConfig, SeriesView, Workspace};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -46,6 +47,7 @@ fn main() {
     );
     println!("{}", hr(126));
 
+    let mut ws = Workspace::new();
     for row in table1::rows(scale) {
         let values = row.dataset.series.values();
         let m = values.len();
@@ -57,8 +59,10 @@ fn main() {
         // HOTSAX (top-1 discord), word shape (paa, alphabet) from the row.
         let hs_cfg =
             HotSaxConfig::new(n, row.paa.min(n), row.alphabet).expect("row parameters are valid");
-        let (hs_discords, hs_stats) =
-            hotsax_discords(values, &hs_cfg, 1).expect("series fits the window");
+        let hs_report = HotSaxDetector::new(hs_cfg, 1)
+            .detect(&SeriesView::new(values), &mut ws, &NoopRecorder)
+            .expect("series fits the window");
+        let (hs_discords, hs_stats) = (hs_report.to_rra().discords, hs_report.stats);
 
         // RRA (top-3, matching the paper's ranked output).
         let config = PipelineConfig::new(n, row.paa, row.alphabet).expect("valid");

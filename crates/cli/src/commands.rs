@@ -1,9 +1,12 @@
 //! Subcommand implementations.
 
-use gv_discord::{hotsax_discords, HotSaxConfig};
+use gv_discord::HotSaxConfig;
 use gv_timeseries::{read_csv_column, Interval, TimeSeries};
-use gva_core::obs::{CollectingRecorder, PipelineTrace};
-use gva_core::{viz, AnomalyPipeline, PipelineConfig};
+use gva_core::obs::{CollectingRecorder, NoopRecorder, PipelineTrace};
+use gva_core::{
+    viz, AnomalyPipeline, Detector, EngineConfig, HotSaxDetector, PipelineConfig, SeriesView,
+    Workspace,
+};
 
 use crate::args::Args;
 
@@ -38,6 +41,9 @@ common options:
                      (rra/explain)
   --metrics-every N  stream: append a metrics snapshot to --metrics every
                      N points (a time-resolved trajectory, not one record)
+  --threads N        RRA search worker threads (rra/explain/demo; default
+                     from GV_THREADS, else 1) — ranked discords are
+                     bit-identical for any thread count
   --dataset NAME     demo dataset: ecg0606 | power | video | tek14 | tek16 |
                      tek17 | nprs43 | nprs44 | commute
 
@@ -55,10 +61,11 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "rra" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "width", "trace", "metrics",
-            "events",
+            "events", "threads",
         ]),
         "explain" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "trace", "metrics", "events",
+            "threads",
         ]),
         "hotsax" | "motifs" => Some(&["file", "column", "window", "paa", "alphabet", "top"]),
         "wcad" => Some(&["file", "column", "window", "top"]),
@@ -77,7 +84,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "metrics-every",
             "metrics",
         ]),
-        "demo" => Some(&["dataset", "top", "width", "trace", "metrics"]),
+        "demo" => Some(&["dataset", "top", "width", "trace", "metrics", "threads"]),
         "help" => Some(&[]),
         _ => None,
     }
@@ -194,12 +201,29 @@ fn window_for(args: &Args, series: &TimeSeries) -> Result<usize, String> {
     }
 }
 
+/// `--threads` if given; otherwise the environment default (`GV_THREADS`,
+/// else sequential).
+fn engine_for(args: &Args) -> Result<EngineConfig, String> {
+    match args.get("threads") {
+        None => Ok(EngineConfig::default()),
+        Some(raw) => {
+            let threads: usize = raw
+                .parse()
+                .map_err(|_| "--threads expects an integer".to_string())?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            Ok(EngineConfig::sequential().with_threads(threads))
+        }
+    }
+}
+
 fn pipeline_for(args: &Args, series: &TimeSeries) -> Result<AnomalyPipeline, String> {
     let window = window_for(args, series)?;
     let paa = args.usize_or("paa", 4)?;
     let alphabet = args.usize_or("alphabet", 4)?;
     let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    Ok(AnomalyPipeline::new(config))
+    Ok(AnomalyPipeline::new(config).with_engine(engine_for(args)?))
 }
 
 fn density(args: &Args) -> Result<(), String> {
@@ -301,18 +325,28 @@ fn hotsax(args: &Args) -> Result<(), String> {
     let alphabet = args.usize_or("alphabet", 3)?;
     let k = args.usize_or("top", 3)?;
     let cfg = HotSaxConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    let (discords, stats) = hotsax_discords(series.values(), &cfg, k).map_err(|e| e.to_string())?;
+    let detector = HotSaxDetector::new(cfg, k);
+    let report = detector
+        .detect(
+            &SeriesView::new(series.values()),
+            &mut Workspace::new(),
+            &NoopRecorder,
+        )
+        .map_err(|e| e.to_string())?;
     println!("series: {} ({} points)", series.name(), series.len());
     println!("rank  position  length  nn-distance");
-    for d in &discords {
+    for a in &report.anomalies {
         println!(
             "{:<5} {:<9} {:<7} {:.5}",
-            d.rank, d.position, d.length, d.distance
+            a.rank,
+            a.interval.start,
+            a.interval.len(),
+            a.score
         );
     }
     println!(
         "\n{} distance calls ({} abandoned early)",
-        stats.distance_calls, stats.early_abandoned
+        report.stats.distance_calls, report.stats.early_abandoned
     );
     Ok(())
 }
@@ -488,7 +522,7 @@ fn demo(args: &Args) -> Result<(), String> {
     let width = args.usize_or("width", 100)?;
     let k = args.usize_or("top", 3)?;
     let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    let p = AnomalyPipeline::new(config);
+    let p = AnomalyPipeline::new(config).with_engine(engine_for(args)?);
     let values = data.series.values();
 
     println!(
@@ -604,6 +638,16 @@ mod tests {
             path.display()
         )))
         .is_ok());
+        // Parallel RRA search: same command, more worker threads.
+        assert!(run(&argv(&format!("rra {base} --threads 2"))).is_ok());
+        assert!(run(&argv(&format!("explain {core} --top 1 --threads 3"))).is_ok());
+        // --threads is for the RRA-search commands only, and must be >= 1.
+        let err = run(&argv(&format!("density {base} --threads 2"))).unwrap_err();
+        assert!(err.contains("unknown option --threads"), "{err}");
+        let err = run(&argv(&format!("rra {base} --threads 0"))).unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        let err = run(&argv(&format!("rra {base} --threads two"))).unwrap_err();
+        assert!(err.contains("--threads expects an integer"), "{err}");
         let out = dir.join("export.csv");
         assert!(run(&argv(&format!(
             "export {core} --top 1 --out {}",

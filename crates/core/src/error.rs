@@ -20,6 +20,9 @@ pub enum Error {
     /// The grammar produced no usable anomaly candidates (e.g. the whole
     /// series collapsed to a single token).
     NoCandidates,
+    /// A fixed-length baseline detector (brute force / HOTSAX) rejected its
+    /// parameters.
+    Discord(String),
 }
 
 impl fmt::Display for Error {
@@ -37,11 +40,18 @@ impl fmt::Display for Error {
                            or parameters too coarse)"
                 )
             }
+            Error::Discord(msg) => write!(f, "discord search error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<gv_discord::Error> for Error {
+    fn from(e: gv_discord::Error) -> Self {
+        Error::Discord(e.to_string())
+    }
+}
 
 impl From<gv_sax::Error> for Error {
     fn from(e: gv_sax::Error) -> Self {

@@ -30,6 +30,15 @@ pub struct RuleInterval {
 /// terminals on R0's right-hand side.
 pub fn rule_intervals(model: &GrammarModel) -> Vec<RuleInterval> {
     let mut out = Vec::new();
+    rule_intervals_into(model, &mut out);
+    out
+}
+
+/// [`rule_intervals`] writing into a caller-owned buffer (cleared first),
+/// so repeated candidate construction through a reused workspace stops
+/// re-allocating once the buffer has warmed up.
+pub fn rule_intervals_into(model: &GrammarModel, out: &mut Vec<RuleInterval>) {
+    out.clear();
     let grammar = &model.grammar;
     let counts = grammar.occurrence_counts();
 
@@ -74,8 +83,6 @@ pub fn rule_intervals(model: &GrammarModel) -> Vec<RuleInterval> {
             frequency: 0,
         });
     }
-
-    out
 }
 
 #[cfg(test)]

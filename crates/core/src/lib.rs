@@ -27,6 +27,13 @@
 //! [`evaluation`] (precision/recall against labelled ground truth), and
 //! [`viz`] (text-mode rendering of the GUI panes).
 //!
+//! The [`engine`] module is the execution layer on top of all of this:
+//! every algorithm (RRA, density, brute force, HOTSAX) implements the
+//! object-safe [`Detector`] trait, scratch buffers live in a reusable
+//! [`Workspace`], and [`EngineConfig`] selects the worker-thread count
+//! for RRA's parallel outer loop — whose ranked discords are
+//! bit-identical for any thread count.
+//!
 //! ```
 //! use gva_core::{AnomalyPipeline, PipelineConfig};
 //!
@@ -43,6 +50,7 @@
 
 mod config;
 mod density;
+pub mod engine;
 mod error;
 pub mod evaluation;
 mod explain;
@@ -56,17 +64,23 @@ mod streaming;
 pub mod sweep;
 pub mod viz;
 pub mod wcad;
+mod workspace;
 
 pub use config::PipelineConfig;
 pub use density::{DensityAnomaly, DensityReport, RuleDensity};
+pub use engine::{
+    Anomaly, BruteForceDetector, DensityDetector, Detail, Detector, EngineConfig, HotSaxDetector,
+    Report, RraDetector, SeriesView,
+};
 pub use error::{Error, Result};
 pub use explain::{DiscordProvenance, ExplainReport};
-pub use intervals::{rule_intervals, RuleInterval};
+pub use intervals::{rule_intervals, rule_intervals_into, RuleInterval};
 pub use model::GrammarModel;
 pub use motifs::{motifs, Motif};
 pub use pipeline::AnomalyPipeline;
 pub use rra::{nn_distance_profile, RraReport, SearchOptions};
 pub use streaming::StreamingDetector;
+pub use workspace::Workspace;
 
 /// Re-export of the observability crate, so downstream users can build
 /// recorders and traces without naming `gv-obs` directly.

@@ -1,34 +1,55 @@
 //! The end-to-end pipeline facade.
 
-use gv_obs::{time_stage, Counter, LocalRecorder, NoopRecorder, Recorder, Stage};
-use gv_sax::SaxDictionary;
-use gv_sequitur::Sequitur;
+use gv_obs::{LocalRecorder, NoopRecorder, Recorder};
 
 use crate::config::PipelineConfig;
-use crate::density::{DensityReport, RuleDensity};
+use crate::density::DensityReport;
+use crate::engine::{DensityDetector, Detector, EngineConfig, RraDetector, SeriesView};
 use crate::error::Result;
 use crate::explain::ExplainReport;
 use crate::model::GrammarModel;
-use crate::rra::{self, RraReport};
+use crate::rra::RraReport;
+use crate::workspace::Workspace;
 
 /// The grammar-driven anomaly pipeline: discretize → induce → detect.
 ///
-/// One pipeline instance is reusable across series; each call re-runs the
-/// full SAX → Sequitur stack (both stages are linear, §4.1).
+/// One pipeline instance is reusable across series. Detection dispatches
+/// through the [`crate::engine`] layer: each call builds a fresh
+/// [`Workspace`] internally (callers that want buffer reuse across calls
+/// hold a [`Workspace`] and drive a [`Detector`] directly), and the RRA
+/// search honours the pipeline's [`EngineConfig`] thread count — ranked
+/// discords are bit-identical for any thread count.
 #[derive(Debug, Clone)]
 pub struct AnomalyPipeline {
     config: PipelineConfig,
+    engine: EngineConfig,
 }
 
 impl AnomalyPipeline {
-    /// Creates a pipeline with the given configuration.
+    /// Creates a pipeline with the given configuration. The engine config
+    /// comes from the environment ([`EngineConfig::default`] reads
+    /// `GV_THREADS`); override it with [`with_engine`](Self::with_engine).
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Overrides the execution-engine configuration (thread count).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The execution-engine configuration in use.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine
     }
 
     /// Runs discretization and grammar induction, producing the
@@ -48,36 +69,7 @@ impl AnomalyPipeline {
     /// # Errors
     /// Same as [`model`](Self::model).
     pub fn model_with<R: Recorder>(&self, values: &[f64], recorder: &R) -> Result<GrammarModel> {
-        let records = self.config.sax().discretize_with(
-            values,
-            self.config.numerosity_reduction(),
-            recorder,
-        )?;
-        let mut dictionary = SaxDictionary::new();
-        let tokens: Vec<_> = time_stage(recorder, Stage::Intern, || {
-            records
-                .iter()
-                .map(|rec| dictionary.intern(&rec.word))
-                .collect()
-        });
-        let grammar = time_stage(recorder, Stage::Induce, || {
-            let mut seq = Sequitur::new();
-            for tok in tokens {
-                seq.push(tok);
-            }
-            let stats = seq.stats();
-            recorder.add(Counter::RulesCreated, stats.rules_created);
-            recorder.add(Counter::RulesDeleted, stats.rules_deleted);
-            recorder.update_max(Counter::PeakDigramEntries, stats.peak_digram_entries);
-            seq.finish()
-        });
-        Ok(GrammarModel {
-            grammar,
-            records,
-            dictionary,
-            series_len: values.len(),
-            window: self.config.window(),
-        })
+        Workspace::new().build_model(&self.config, values, recorder)
     }
 
     /// Runs the rule-density detector (§4.1): builds the density curve and
@@ -102,10 +94,12 @@ impl AnomalyPipeline {
         k: usize,
         recorder: &R,
     ) -> Result<DensityReport> {
-        let model = self.model_with(values, recorder)?;
-        Ok(time_stage(recorder, Stage::Density, || {
-            RuleDensity::from_model(&model).report_trimmed(k, self.config.window())
-        }))
+        let detector = DensityDetector::new(self.config.clone(), k);
+        let report = detector.detect(&SeriesView::new(values), &mut Workspace::new(), recorder)?;
+        Ok(report
+            .density()
+            .cloned()
+            .expect("density detector always carries its report"))
     }
 
     /// Runs the RRA detector (§4.2): returns up to `k` ranked
@@ -130,8 +124,9 @@ impl AnomalyPipeline {
         k: usize,
         recorder: &R,
     ) -> Result<RraReport> {
-        let model = self.model_with(values, recorder)?;
-        rra::discords_with(values, &model, k, self.config.seed(), recorder)
+        let detector = RraDetector::new(self.config.clone(), k).with_engine(self.engine);
+        let report = detector.detect(&SeriesView::new(values), &mut Workspace::new(), recorder)?;
+        Ok(report.to_rra())
     }
 
     /// Runs the RRA detector with full decision telemetry and joins the
@@ -160,8 +155,10 @@ impl AnomalyPipeline {
         // Always collect detail locally — the join needs the events even
         // when the caller's sink is a Noop.
         let local = LocalRecorder::new();
-        let model = self.model_with(values, &local)?;
-        let report = rra::discords_with(values, &model, k, self.config.seed(), &local)?;
+        let mut ws = Workspace::new();
+        let model = ws.build_model(&self.config, values, &local)?;
+        let detector = RraDetector::new(self.config.clone(), k).with_engine(self.engine);
+        let report = detector.search_model(values, &model, &mut ws, &local)?;
         let explain = ExplainReport::from_run(&model, &report, &local);
         local.merge_into(recorder);
         Ok(explain)
@@ -236,7 +233,10 @@ mod tests {
     fn instrumented_run_matches_plain_and_fills_every_stage() {
         use gv_obs::{Counter, LocalRecorder, Stage};
         let v = planted_series();
-        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap());
+        // Pin to one thread: ranked discords are thread-count-invariant but
+        // the cost counters compared below are not.
+        let p = AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap())
+            .with_engine(EngineConfig::sequential());
         let rec = LocalRecorder::new();
 
         let plain = p.rra_discords(&v, 2).unwrap();

@@ -14,14 +14,30 @@
 //! Because candidates vary in length, distances use the paper's Eq. (1):
 //! Euclidean between z-normalized subsequences, the match linearly
 //! resampled onto the candidate's length, normalized by that length.
+//!
+//! ## Parallel search
+//!
+//! The outer loop can shard across `threads` workers
+//! ([`discords_parallel_with`], or an `EngineConfig` through the engine
+//! layer). Each rank's surviving candidates are striped round-robin across
+//! scoped threads that share a best-so-far lower bound through an
+//! `AtomicU64` (f64 bits, monotone-max CAS). The ranked discords are
+//! **bit-identical to the sequential search for any thread count**: a
+//! completed candidate's nearest-neighbour distance is its exact true
+//! minimum (abandoning never lowers it), a candidate pruned against the
+//! shared bound is strictly below the rank's final maximum so it can never
+//! win or tie, and the merge picks the maximum distance with ties broken
+//! toward the earliest candidate in the outer order — exactly the
+//! sequential first-wins rule. Only the *cost* (distance calls, prune
+//! counts) varies with thread count and timing.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use gv_discord::{distance, DiscordRecord, SearchStats};
 use gv_obs::{Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, Stage};
 use gv_sequitur::RuleId;
-use gv_timeseries::{resample_to, znorm, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
+use gv_timeseries::{resample_to, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -71,15 +87,35 @@ pub fn discords_with<R: Recorder>(
     seed: u64,
     recorder: &R,
 ) -> Result<RraReport> {
+    discords_parallel_with(values, model, k, seed, 1, recorder)
+}
+
+/// [`discords_with`] sharding the outer loop across `threads` scoped
+/// workers. The ranked discords are bit-identical to the sequential search
+/// (`threads = 1`) — see the module docs for why; only the reported cost
+/// varies.
+///
+/// # Errors
+/// Same as [`discords`].
+pub fn discords_parallel_with<R: Recorder>(
+    values: &[f64],
+    model: &GrammarModel,
+    k: usize,
+    seed: u64,
+    threads: usize,
+    recorder: &R,
+) -> Result<RraReport> {
     let mut candidates = rule_intervals(model);
     let len = model.series_len;
     candidates.retain(|c| c.rule.is_some() || (c.interval.start > 0 && c.interval.end < len));
-    discords_with_options_recorded(
+    search_in(
         values,
         &candidates,
         k,
         seed,
         SearchOptions::default(),
+        threads,
+        &mut RraScratch::default(),
         recorder,
     )
 }
@@ -159,6 +195,272 @@ pub fn discords_with_options_recorded<R: Recorder>(
     options: SearchOptions,
     recorder: &R,
 ) -> Result<RraReport> {
+    search_in(
+        values,
+        candidates,
+        k,
+        seed,
+        options,
+        1,
+        &mut RraScratch::default(),
+        recorder,
+    )
+}
+
+/// Per-evaluation reusable buffers: the z-normalized candidate, the
+/// z-normalized match, and the match resampled onto the candidate length.
+#[derive(Debug, Default)]
+pub(crate) struct EvalBufs {
+    p_z: Vec<f64>,
+    q_z: Vec<f64>,
+    q_rs: Vec<f64>,
+}
+
+impl EvalBufs {
+    pub(crate) fn max_capacity(&self) -> usize {
+        self.p_z
+            .capacity()
+            .max(self.q_z.capacity())
+            .max(self.q_rs.capacity())
+    }
+}
+
+/// Reusable scratch state for the Algorithm 1 search: visit orders, the
+/// sibling index, the per-rank active list, and the evaluation buffers
+/// (one set for the sequential path, one per worker for the parallel
+/// path). Held inside an engine `Workspace` so repeated searches stop
+/// re-allocating after warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct RraScratch {
+    outer: Vec<usize>,
+    inner: Vec<usize>,
+    /// Candidates surviving the per-rank eligibility filter, in outer
+    /// order (parallel path only).
+    active: Vec<u32>,
+    /// `(active_index, nearest)` for completed candidates, merged from
+    /// the workers (parallel path only).
+    completed: Vec<(u32, f64)>,
+    /// Sorted `(rule, candidate_index)` pairs — a flat, thread-shareable
+    /// replacement for the per-rule sibling hash map. Within one rule the
+    /// pairs stay in ascending candidate order, so sibling iteration
+    /// matches the original insertion-order lists exactly.
+    sib_pairs: Vec<(RuleId, u32)>,
+    bufs: EvalBufs,
+    workers: Vec<EvalBufs>,
+}
+
+impl RraScratch {
+    /// Capacities of every reusable buffer, for allocation-stability
+    /// assertions on a warmed-up workspace.
+    pub(crate) fn capacity_signature(&self) -> [usize; 7] {
+        [
+            self.outer.capacity(),
+            self.inner.capacity(),
+            self.active.capacity(),
+            self.completed.capacity(),
+            self.sib_pairs.capacity(),
+            self.bufs.max_capacity(),
+            self.workers.iter().map(EvalBufs::max_capacity).sum(),
+        ]
+    }
+}
+
+/// The sorted-pairs sibling lookup: all candidates of `rule`, ascending.
+fn sibling_range(pairs: &[(RuleId, u32)], rule: RuleId) -> &[(RuleId, u32)] {
+    let lo = pairs.partition_point(|&(r, _)| r < rule);
+    let hi = pairs.partition_point(|&(r, _)| r <= rule);
+    &pairs[lo..hi]
+}
+
+/// Rank-constant eligibility: a candidate is searched when it does not
+/// overlap an already-found discord, is non-empty, and passes the
+/// tandem-repeat guard — a rule candidate whose every same-rule sibling is
+/// a self-match (the rule's occurrences are adjacent repeats of each
+/// other) demonstrably recurs — the grammar compressed it — so it is not
+/// algorithmically random. The non-self constraint would orphan it onto
+/// unrelated matches and inflate its NN distance; skip it as an outer
+/// candidate (it still serves as an inner match for others).
+fn eligible(
+    candidates: &[RuleInterval],
+    pi: usize,
+    sib_pairs: &[(RuleId, u32)],
+    found: &[DiscordRecord],
+) -> bool {
+    let p = &candidates[pi];
+    if found.iter().any(|d| d.interval().overlaps(&p.interval)) {
+        return false;
+    }
+    if p.interval.is_empty() {
+        return false;
+    }
+    if let Some(r) = p.rule {
+        let has_admissible_sibling = sibling_range(sib_pairs, r)
+            .iter()
+            .any(|&(_, qi)| qi as usize != pi && admissible(p, &candidates[qi as usize]));
+        if !has_admissible_sibling {
+            return false;
+        }
+    }
+    true
+}
+
+/// One outer candidate's full inner search: records the Visited event,
+/// runs the siblings-first then shared-random-order phases with pruning
+/// against `bound()`, and records the outcome event plus the
+/// pruned/completed counter. Returns `(nearest, pruned)`.
+///
+/// `bound` is read after every evaluation: the sequential path passes the
+/// rank's best-so-far (constant during one candidate), the parallel path
+/// reads the shared atomic so workers prune against each other's results.
+#[allow(clippy::too_many_arguments)]
+fn scan_candidate<F: Fn() -> f64>(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    pi: usize,
+    sib_pairs: &[(RuleId, u32)],
+    inner: &[usize],
+    options: SearchOptions,
+    bound: F,
+    bufs: &mut EvalBufs,
+    local: &LocalRecorder,
+    detail: bool,
+    timing: bool,
+) -> (f64, bool) {
+    let p = &candidates[pi];
+    let p_len = p.interval.len();
+    local.incr(Counter::RraCandidates);
+    let calls_before = local.counter(Counter::DistanceCalls);
+    if detail {
+        local.record_value(Metric::CandidateLen, p_len as u64);
+        local.record_value(Metric::RuleUses, p.frequency as u64);
+        local.record_event(Event {
+            position: p.interval.start as u64,
+            length: p_len as u64,
+            rule: p.rule.map(|r| r.0),
+            frequency: p.frequency as u64,
+            ..Event::new(EventKind::Visited)
+        });
+    }
+    let EvalBufs { p_z, q_z, q_rs } = bufs;
+    p_z.resize(p_len, 0.0);
+    znorm_into(
+        &values[p.interval.start..p.interval.end],
+        DEFAULT_ZNORM_THRESHOLD,
+        p_z,
+    );
+
+    let mut nearest = f64::INFINITY;
+    let mut pruned = false;
+    let inner_started = timing.then(Instant::now);
+
+    // Inner phase 1: same-rule siblings.
+    if options.siblings_first {
+        if let Some(r) = p.rule {
+            for &(_, qi32) in sibling_range(sib_pairs, r) {
+                let qi = qi32 as usize;
+                if qi == pi {
+                    continue;
+                }
+                let q = &candidates[qi];
+                if !admissible(p, q) {
+                    continue;
+                }
+                evaluate(
+                    values,
+                    p_z,
+                    q,
+                    q_z,
+                    q_rs,
+                    local,
+                    &mut nearest,
+                    options.early_abandon,
+                );
+                if nearest < bound() {
+                    pruned = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Inner phase 2: everything else, in random order.
+    if !pruned {
+        for &qi in inner {
+            if qi == pi {
+                continue;
+            }
+            let q = &candidates[qi];
+            // Skip phase-1 siblings (when phase 1 ran).
+            if options.siblings_first && p.rule.is_some() && q.rule == p.rule {
+                continue;
+            }
+            if !admissible(p, q) {
+                continue;
+            }
+            evaluate(
+                values,
+                p_z,
+                q,
+                q_z,
+                q_rs,
+                local,
+                &mut nearest,
+                options.early_abandon,
+            );
+            if nearest < bound() {
+                pruned = true;
+                break;
+            }
+        }
+    }
+
+    if let Some(started) = inner_started {
+        local.record_duration(Stage::RraInner, started.elapsed().as_nanos() as u64);
+    }
+    if detail {
+        // A pruned candidate's `nearest` is finite by construction
+        // (it dropped below `best_so_far`); a completed one may
+        // have found no admissible match at all — encode that as
+        // -1.0 so the JSON stays finite.
+        let outcome = if pruned {
+            EventKind::Pruned
+        } else {
+            EventKind::Completed
+        };
+        local.record_event(Event {
+            position: p.interval.start as u64,
+            length: p_len as u64,
+            rule: p.rule.map(|r| r.0),
+            frequency: p.frequency as u64,
+            calls: local.counter(Counter::DistanceCalls) - calls_before,
+            value: if nearest.is_finite() { nearest } else { -1.0 },
+            ..Event::new(outcome)
+        });
+    }
+    if pruned {
+        local.incr(Counter::CandidatesPruned);
+    } else {
+        local.incr(Counter::CandidatesCompleted);
+    }
+    (nearest, pruned)
+}
+
+/// The search engine behind every public RRA entry point: explicit
+/// candidates, options, thread count, and reusable scratch.
+///
+/// # Errors
+/// [`Error::NoCandidates`] when fewer than two candidates are supplied.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_in<R: Recorder>(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    k: usize,
+    seed: u64,
+    options: SearchOptions,
+    threads: usize,
+    scratch: &mut RraScratch,
+    recorder: &R,
+) -> Result<RraReport> {
     if candidates.len() < 2 {
         return Err(Error::NoCandidates);
     }
@@ -175,181 +477,59 @@ pub fn discords_with_options_recorded<R: Recorder>(
     let outer_started = timing.then(Instant::now);
     let mut rng = StdRng::seed_from_u64(seed);
     let n = candidates.len();
+    let threads = threads.max(1);
+
+    let RraScratch {
+        outer,
+        inner,
+        active,
+        completed,
+        sib_pairs,
+        bufs,
+        workers,
+    } = scratch;
 
     // Outer: ascending frequency, random within ties.
-    let mut outer: Vec<usize> = (0..n).collect();
+    outer.clear();
+    outer.extend(0..n);
     outer.shuffle(&mut rng);
     if options.outer_by_frequency {
         outer.sort_by_key(|&i| candidates[i].frequency);
     }
 
-    // Sibling lists per rule.
-    let mut siblings: HashMap<RuleId, Vec<usize>> = HashMap::new();
+    // Sibling pairs per rule (sorted: rule, then original candidate order).
+    sib_pairs.clear();
     for (i, c) in candidates.iter().enumerate() {
         if let Some(r) = c.rule {
-            siblings.entry(r).or_default().push(i);
+            sib_pairs.push((r, i as u32));
         }
     }
+    sib_pairs.sort_unstable();
 
     // Shared random order for the "rest" phase of the inner loop.
-    let mut inner: Vec<usize> = (0..n).collect();
+    inner.clear();
+    inner.extend(0..n);
     inner.shuffle(&mut rng);
 
     let mut found: Vec<DiscordRecord> = Vec::new();
 
-    // Reusable buffers; lengths vary per candidate.
-    let mut buf_q = Vec::new();
-    let mut buf_q_rs = Vec::new();
-
     for rank in 0..k {
-        let mut best_dist = -1.0f64;
-        let mut best: Option<&RuleInterval> = None;
-
-        for &pi in &outer {
-            let p = &candidates[pi];
-            if found.iter().any(|d| d.interval().overlaps(&p.interval)) {
-                continue;
-            }
-            let p_len = p.interval.len();
-            if p_len == 0 {
-                continue;
-            }
-            // Tandem-repeat guard: a rule candidate whose every same-rule
-            // sibling is a self-match (the rule's occurrences are adjacent
-            // repeats of each other) demonstrably recurs — the grammar
-            // compressed it — so it is not algorithmically random. The
-            // non-self constraint would orphan it onto unrelated matches
-            // and inflate its NN distance; skip it as an outer candidate
-            // (it still serves as an inner match for others).
-            if let Some(r) = p.rule {
-                let has_admissible_sibling = siblings[&r]
-                    .iter()
-                    .any(|&qi| qi != pi && admissible(p, &candidates[qi]));
-                if !has_admissible_sibling {
-                    continue;
-                }
-            }
-            local.incr(Counter::RraCandidates);
-            let calls_before = local.counter(Counter::DistanceCalls);
-            if detail {
-                local.record_value(Metric::CandidateLen, p_len as u64);
-                local.record_value(Metric::RuleUses, p.frequency as u64);
-                local.record_event(Event {
-                    position: p.interval.start as u64,
-                    length: p_len as u64,
-                    rule: p.rule.map(|r| r.0),
-                    frequency: p.frequency as u64,
-                    ..Event::new(EventKind::Visited)
-                });
-            }
-            let p_z = znorm(
-                &values[p.interval.start..p.interval.end],
-                DEFAULT_ZNORM_THRESHOLD,
-            );
-
-            let mut nearest = f64::INFINITY;
-            let mut pruned = false;
-            let inner_started = timing.then(Instant::now);
-
-            // Inner phase 1: same-rule siblings.
-            if options.siblings_first {
-                if let Some(r) = p.rule {
-                    for &qi in &siblings[&r] {
-                        if qi == pi {
-                            continue;
-                        }
-                        let q = &candidates[qi];
-                        if !admissible(p, q) {
-                            continue;
-                        }
-                        evaluate(
-                            values,
-                            &p_z,
-                            q,
-                            &mut buf_q,
-                            &mut buf_q_rs,
-                            &local,
-                            &mut nearest,
-                            options.early_abandon,
-                        );
-                        if nearest < best_dist {
-                            pruned = true;
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // Inner phase 2: everything else, in random order.
-            if !pruned {
-                for &qi in &inner {
-                    if qi == pi {
-                        continue;
-                    }
-                    let q = &candidates[qi];
-                    // Skip phase-1 siblings (when phase 1 ran).
-                    if options.siblings_first && p.rule.is_some() && q.rule == p.rule {
-                        continue;
-                    }
-                    if !admissible(p, q) {
-                        continue;
-                    }
-                    evaluate(
-                        values,
-                        &p_z,
-                        q,
-                        &mut buf_q,
-                        &mut buf_q_rs,
-                        &local,
-                        &mut nearest,
-                        options.early_abandon,
-                    );
-                    if nearest < best_dist {
-                        pruned = true;
-                        break;
-                    }
-                }
-            }
-
-            if let Some(started) = inner_started {
-                local.record_duration(Stage::RraInner, started.elapsed().as_nanos() as u64);
-            }
-            if detail {
-                // A pruned candidate's `nearest` is finite by construction
-                // (it dropped below `best_so_far`); a completed one may
-                // have found no admissible match at all — encode that as
-                // -1.0 so the JSON stays finite.
-                let outcome = if pruned {
-                    EventKind::Pruned
-                } else {
-                    EventKind::Completed
-                };
-                local.record_event(Event {
-                    position: p.interval.start as u64,
-                    length: p_len as u64,
-                    rule: p.rule.map(|r| r.0),
-                    frequency: p.frequency as u64,
-                    calls: local.counter(Counter::DistanceCalls) - calls_before,
-                    value: if nearest.is_finite() { nearest } else { -1.0 },
-                    ..Event::new(outcome)
-                });
-            }
-            if pruned {
-                local.incr(Counter::CandidatesPruned);
-                continue;
-            }
-            local.incr(Counter::CandidatesCompleted);
-            if nearest.is_finite() && nearest > best_dist {
-                best_dist = nearest;
-                best = Some(p);
-            }
-        }
-
-        match best {
-            Some(p) => found.push(DiscordRecord {
-                position: p.interval.start,
-                length: p.interval.len(),
-                distance: best_dist,
+        let selected = if threads > 1 {
+            parallel_rank(
+                values, candidates, outer, inner, active, completed, sib_pairs, workers, &found,
+                options, threads, &local, detail, timing,
+            )
+        } else {
+            sequential_rank(
+                values, candidates, outer, inner, sib_pairs, bufs, &found, options, &local, detail,
+                timing,
+            )
+        };
+        match selected {
+            Some((pi, distance)) => found.push(DiscordRecord {
+                position: candidates[pi].interval.start,
+                length: candidates[pi].interval.len(),
+                distance,
                 rank,
             }),
             None => break,
@@ -358,7 +538,9 @@ pub fn discords_with_options_recorded<R: Recorder>(
 
     if let Some(started) = outer_started {
         // The full search time; RraInner nests inside it, and the trace's
-        // total skips nested stages so nothing double-counts.
+        // total skips nested stages so nothing double-counts. Under a
+        // parallel search the merged RraInner sum can exceed this
+        // wall-clock figure — workers overlap.
         local.record_duration(Stage::RraOuter, started.elapsed().as_nanos() as u64);
     }
     let stats = SearchStats {
@@ -373,6 +555,178 @@ pub fn discords_with_options_recorded<R: Recorder>(
         stats,
         num_candidates: n,
     })
+}
+
+/// One rank of the sequential search: Algorithm 1's outer loop with the
+/// running best-so-far as the prune bound. Returns the winning candidate
+/// index and its NN distance.
+#[allow(clippy::too_many_arguments)]
+fn sequential_rank(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    outer: &[usize],
+    inner: &[usize],
+    sib_pairs: &[(RuleId, u32)],
+    bufs: &mut EvalBufs,
+    found: &[DiscordRecord],
+    options: SearchOptions,
+    local: &LocalRecorder,
+    detail: bool,
+    timing: bool,
+) -> Option<(usize, f64)> {
+    let mut best_dist = -1.0f64;
+    let mut best: Option<usize> = None;
+    for &pi in outer {
+        if !eligible(candidates, pi, sib_pairs, found) {
+            continue;
+        }
+        let bound = best_dist;
+        let (nearest, pruned) = scan_candidate(
+            values,
+            candidates,
+            pi,
+            sib_pairs,
+            inner,
+            options,
+            || bound,
+            bufs,
+            local,
+            detail,
+            timing,
+        );
+        if pruned {
+            continue;
+        }
+        if nearest.is_finite() && nearest > best_dist {
+            best_dist = nearest;
+            best = Some(pi);
+        }
+    }
+    best.map(|pi| (pi, best_dist))
+}
+
+/// One rank of the parallel search: the eligibility-filtered outer order
+/// is striped round-robin across scoped workers that share a monotone-max
+/// prune bound (f64 bits in an `AtomicU64`). Completed candidates with a
+/// finite nearest are collected and merged deterministically: maximum
+/// distance first, ties broken toward the earliest outer position —
+/// reproducing the sequential first-wins rule bit-for-bit (see the module
+/// docs for the argument).
+#[allow(clippy::too_many_arguments)]
+fn parallel_rank(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    outer: &[usize],
+    inner: &[usize],
+    active: &mut Vec<u32>,
+    completed: &mut Vec<(u32, f64)>,
+    sib_pairs: &[(RuleId, u32)],
+    workers: &mut Vec<EvalBufs>,
+    found: &[DiscordRecord],
+    options: SearchOptions,
+    threads: usize,
+    local: &LocalRecorder,
+    detail: bool,
+    timing: bool,
+) -> Option<(usize, f64)> {
+    active.clear();
+    active.extend(
+        outer
+            .iter()
+            .copied()
+            .filter(|&pi| eligible(candidates, pi, sib_pairs, found))
+            .map(|pi| pi as u32),
+    );
+    completed.clear();
+    if active.is_empty() {
+        return None;
+    }
+    let threads = threads.min(active.len());
+    if workers.len() < threads {
+        workers.resize_with(threads, EvalBufs::default);
+    }
+    let bound = AtomicU64::new((-1.0f64).to_bits());
+    let active_ref: &[u32] = active;
+    let inner_ref: &[usize] = inner;
+    let sib_ref: &[(RuleId, u32)] = sib_pairs;
+
+    let worker_results: Vec<(LocalRecorder, Vec<(u32, f64)>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .take(threads)
+            .enumerate()
+            .map(|(t, bufs)| {
+                let bound = &bound;
+                s.spawn(move || {
+                    let wlocal = if detail {
+                        LocalRecorder::new()
+                    } else {
+                        LocalRecorder::counters_only()
+                    };
+                    let mut wcompleted: Vec<(u32, f64)> = Vec::new();
+                    for (ai, &pi32) in active_ref.iter().enumerate().skip(t).step_by(threads) {
+                        let (nearest, pruned) = scan_candidate(
+                            values,
+                            candidates,
+                            pi32 as usize,
+                            sib_ref,
+                            inner_ref,
+                            options,
+                            || f64::from_bits(bound.load(Ordering::Relaxed)),
+                            bufs,
+                            &wlocal,
+                            detail,
+                            timing,
+                        );
+                        // Only finite, fully-searched distances may enter
+                        // the shared bound or the result set: a candidate
+                        // with no admissible match has an infinite nearest
+                        // and must never win (or poison the bound).
+                        if !pruned && nearest.is_finite() {
+                            wcompleted.push((ai as u32, nearest));
+                            let bits = nearest.to_bits();
+                            let mut cur = bound.load(Ordering::Relaxed);
+                            while f64::from_bits(cur) < nearest {
+                                match bound.compare_exchange_weak(
+                                    cur,
+                                    bits,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(now) => cur = now,
+                                }
+                            }
+                        }
+                    }
+                    (wlocal, wcompleted)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rra worker panicked"))
+            .collect()
+    });
+
+    for (wlocal, wcompleted) in worker_results {
+        wlocal.merge_into(local);
+        completed.extend(wcompleted);
+    }
+
+    // Deterministic merge: maximum nearest, ties to the earliest outer
+    // position — the sequential strict-`>` first-wins rule.
+    let mut best: Option<(u32, f64)> = None;
+    for &(ai, nearest) in completed.iter() {
+        let better = match best {
+            None => true,
+            Some((bai, bn)) => nearest > bn || (nearest == bn && ai < bai),
+        };
+        if better {
+            best = Some((ai, nearest));
+        }
+    }
+    best.map(|(ai, d)| (active[ai as usize] as usize, d))
 }
 
 /// Algorithm 1 line 7: `q` is a non-self match of `p` when their start
@@ -424,8 +778,11 @@ fn evaluate<R: Recorder>(
 /// (the search never considers it an outer candidate, so including it here
 /// would make the profile's maximum disagree with the search's result).
 pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(Interval, f64)> {
-    let mut buf_q = Vec::new();
-    let mut buf_q_rs = Vec::new();
+    // One reusable buffer set for the whole profile — including the
+    // z-normalized candidate, which used to be a fresh allocation per
+    // candidate.
+    let mut bufs = EvalBufs::default();
+    let EvalBufs { p_z, q_z, q_rs } = &mut bufs;
     let mut out = Vec::with_capacity(candidates.len());
     for (pi, p) in candidates.iter().enumerate() {
         if p.interval.is_empty() {
@@ -440,25 +797,18 @@ pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(
                 continue;
             }
         }
-        let p_z = znorm(
+        p_z.resize(p.interval.len(), 0.0);
+        znorm_into(
             &values[p.interval.start..p.interval.end],
             DEFAULT_ZNORM_THRESHOLD,
+            p_z,
         );
         let mut nearest = f64::INFINITY;
         for (qi, q) in candidates.iter().enumerate() {
             if qi == pi || !admissible(p, q) {
                 continue;
             }
-            evaluate(
-                values,
-                &p_z,
-                q,
-                &mut buf_q,
-                &mut buf_q_rs,
-                &NoopRecorder,
-                &mut nearest,
-                true,
-            );
+            evaluate(values, p_z, q, q_z, q_rs, &NoopRecorder, &mut nearest, true);
         }
         if nearest.is_finite() {
             out.push((p.interval, nearest));
@@ -664,6 +1014,89 @@ mod tests {
             assert_eq!(a.position, b.position);
             assert_eq!(a.length, b.length);
             assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_bit_for_bit() {
+        let mut v = planted();
+        for (i, x) in v[400..460].iter_mut().enumerate() {
+            *x += 0.8 * (std::f64::consts::PI * i as f64 / 60.0).sin();
+        }
+        let cands = candidates_from(&v, 100, 5, 4);
+        let sequential = search_in(
+            &v,
+            &cands,
+            3,
+            0,
+            SearchOptions::default(),
+            1,
+            &mut RraScratch::default(),
+            &NoopRecorder,
+        )
+        .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = search_in(
+                &v,
+                &cands,
+                3,
+                0,
+                SearchOptions::default(),
+                threads,
+                &mut RraScratch::default(),
+                &NoopRecorder,
+            )
+            .unwrap();
+            assert_eq!(sequential.discords.len(), parallel.discords.len());
+            for (a, b) in sequential.discords.iter().zip(&parallel.discords) {
+                assert_eq!(a.position, b.position, "threads={threads}");
+                assert_eq!(a.length, b.length, "threads={threads}");
+                assert_eq!(a.rank, b.rank, "threads={threads}");
+                assert_eq!(
+                    a.distance.to_bits(),
+                    b.distance.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_and_stops_allocating() {
+        let v = planted();
+        let cands = candidates_from(&v, 100, 5, 4);
+        let fresh = discords_from_intervals(&v, &cands, 2, 0).unwrap();
+        let mut scratch = RraScratch::default();
+        // Warm-up call, then capture capacities.
+        search_in(
+            &v,
+            &cands,
+            2,
+            0,
+            SearchOptions::default(),
+            1,
+            &mut scratch,
+            &NoopRecorder,
+        )
+        .unwrap();
+        let sig = scratch.capacity_signature();
+        for _ in 0..3 {
+            let again = search_in(
+                &v,
+                &cands,
+                2,
+                0,
+                SearchOptions::default(),
+                1,
+                &mut scratch,
+                &NoopRecorder,
+            )
+            .unwrap();
+            assert_eq!(fresh.discords.len(), again.discords.len());
+            for (a, b) in fresh.discords.iter().zip(&again.discords) {
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            assert_eq!(sig, scratch.capacity_signature(), "scratch buffers grew");
         }
     }
 

@@ -21,8 +21,10 @@ use gv_timeseries::{CoverageCounter, Interval};
 
 use crate::config::PipelineConfig;
 use crate::density::RuleDensity;
+use crate::engine::{Detector, Report, SeriesView};
 use crate::error::Result;
 use crate::model::GrammarModel;
+use crate::workspace::Workspace;
 
 /// An online grammar-based anomaly detector.
 ///
@@ -43,12 +45,20 @@ pub struct StreamingDetector<R: Recorder = NoopRecorder> {
     config: PipelineConfig,
     /// Rolling buffer holding the last `window` points.
     buffer: VecDeque<f64>,
+    /// The full stream so far — retained so any [`Detector`] can re-run
+    /// over history on demand (one `f64` per point; the grammar itself is
+    /// already linear in the stream, so this does not change the space
+    /// class).
+    values: Vec<f64>,
     /// Total points consumed.
     seen: usize,
     dictionary: SaxDictionary,
     sequitur: Sequitur,
     /// Surviving records (post numerosity reduction), like the batch model.
     records: Vec<SaxRecord>,
+    /// Reused across [`detect`](StreamingDetector::detect) calls, so
+    /// periodic re-detection stops allocating once warmed up.
+    workspace: Workspace,
     recorder: R,
     /// Emit a metrics snapshot every this many points (`0`: never).
     metrics_every: usize,
@@ -73,10 +83,12 @@ impl<R: Recorder> StreamingDetector<R> {
         Self {
             config,
             buffer: VecDeque::new(),
+            values: Vec::new(),
             seen: 0,
             dictionary: SaxDictionary::new(),
             sequitur: Sequitur::new(),
             records: Vec::new(),
+            workspace: Workspace::new(),
             recorder,
             metrics_every: 0,
             snapshots: Vec::new(),
@@ -138,6 +150,7 @@ impl<R: Recorder> StreamingDetector<R> {
     /// grammar (subject to numerosity reduction).
     pub fn push(&mut self, value: f64) {
         let window = self.config.window();
+        self.values.push(value);
         self.buffer.push_back(value);
         if self.buffer.len() > window {
             self.buffer.pop_front();
@@ -222,6 +235,33 @@ impl<R: Recorder> StreamingDetector<R> {
             }
             Err(_) => Vec::new(),
         })
+    }
+
+    /// The full stream retained so far, oldest first.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Runs any [`Detector`] over everything seen so far, through the
+    /// detector's unified interface. The internal [`Workspace`] is reused
+    /// across calls, so periodic re-detection on a growing stream stops
+    /// allocating once the buffers have warmed up; instrumentation goes to
+    /// the stream's own recorder.
+    ///
+    /// This is the §7 "online RRA" shape: the incremental grammar answers
+    /// the cheap density question continuously
+    /// ([`alerts`](StreamingDetector::alerts)), and this method runs the
+    /// exact (and parallelizable) discord search on demand.
+    ///
+    /// # Errors
+    /// Whatever the detector reports (series still shorter than the
+    /// window, no candidates, …).
+    pub fn detect(&mut self, detector: &dyn Detector) -> Result<Report> {
+        detector.detect(
+            &SeriesView::new(&self.values),
+            &mut self.workspace,
+            &self.recorder,
+        )
     }
 
     /// Early-detection alerts: maximal runs of points whose density is
@@ -396,6 +436,37 @@ mod tests {
         assert_eq!(plain.num_tokens(), det.num_tokens());
         assert_eq!(det.take_snapshots().len(), 5);
         assert!(det.snapshots().is_empty());
+    }
+
+    #[test]
+    fn detect_through_trait_matches_batch_pipeline() {
+        use crate::engine::{EngineConfig, RraDetector};
+        let mut v: Vec<f64> = (0..2000).map(|i| (i as f64 / 16.0).sin()).collect();
+        for (i, x) in v[900..980].iter_mut().enumerate() {
+            *x = 0.3 * (i as f64 / 5.0).cos();
+        }
+        let config = PipelineConfig::new(100, 5, 4).unwrap();
+        let mut det = StreamingDetector::new(config.clone());
+        feed(&mut det, v.iter().copied());
+        assert_eq!(det.values(), &v[..]);
+
+        let rra = RraDetector::new(config.clone(), 2).with_engine(EngineConfig::sequential());
+        let online = det.detect(&rra).unwrap();
+        let batch = crate::pipeline::AnomalyPipeline::new(config)
+            .with_engine(EngineConfig::sequential())
+            .rra_discords(&v, 2)
+            .unwrap();
+        assert_eq!(online.anomalies.len(), batch.discords.len());
+        for (a, b) in online.anomalies.iter().zip(&batch.discords) {
+            assert_eq!(a.interval, b.interval());
+            assert_eq!(a.score.to_bits(), b.distance.to_bits());
+        }
+
+        // Re-detection reuses the workspace: results stable, buffers frozen.
+        let sig = det.workspace.capacity_signature();
+        let again = det.detect(&rra).unwrap();
+        assert_eq!(again.anomalies.len(), online.anomalies.len());
+        assert_eq!(sig, det.workspace.capacity_signature());
     }
 
     #[test]

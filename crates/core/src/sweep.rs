@@ -14,10 +14,9 @@ use gv_timeseries::Interval;
 use serde::{Deserialize, Serialize};
 
 use crate::config::PipelineConfig;
-use crate::density::RuleDensity;
+use crate::engine::{DensityDetector, EngineConfig, RraDetector};
 use crate::error::Result;
-use crate::pipeline::AnomalyPipeline;
-use crate::rra;
+use crate::workspace::Workspace;
 
 /// One grid point of the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,13 +94,14 @@ pub fn run_with<R: Recorder>(
         (truth.end + slack).min(values.len()),
     );
     let mut out = Vec::new();
+    let mut ws = Workspace::new();
     for &w in &grid.windows {
         for &p in &grid.paas {
             if p > w {
                 continue;
             }
             for &a in &grid.alphabets {
-                if let Ok(point) = evaluate_one(values, wide_truth, w, p, a, recorder) {
+                if let Ok(point) = evaluate_one(values, wide_truth, w, p, a, &mut ws, recorder) {
                     out.push(point);
                 }
             }
@@ -165,9 +165,14 @@ pub fn run_parallel_with<R: Recorder + Sync>(
             .map(|t| {
                 let combos = &combos;
                 scope.spawn(move || {
+                    // One workspace per worker: buffers warm up once and
+                    // are reused across every grid point this worker owns.
+                    let mut ws = Workspace::new();
                     let mut mine = Vec::new();
                     for &(w, p, a) in combos.iter().skip(t).step_by(threads) {
-                        if let Ok(point) = evaluate_one(values, wide_truth, w, p, a, recorder) {
+                        if let Ok(point) =
+                            evaluate_one(values, wide_truth, w, p, a, &mut ws, recorder)
+                        {
                             mine.push(point);
                         }
                     }
@@ -208,19 +213,25 @@ fn evaluate_one<R: Recorder>(
     w: usize,
     p: usize,
     a: usize,
+    ws: &mut Workspace,
     recorder: &R,
 ) -> Result<SweepPoint> {
-    let config = PipelineConfig::new(w, p, a)?;
-    let pipeline = AnomalyPipeline::new(config);
-    let model = pipeline.model_with(values, recorder)?;
+    // Fixed seed 0 and a sequential engine per grid point: sweep results
+    // (and counter totals) stay identical whatever the worker count and
+    // whatever `GV_THREADS` says, and workers never nest thread pools.
+    let config = PipelineConfig::new(w, p, a)?.with_seed(0);
+    let model = ws.build_model(&config, values, recorder)?;
 
-    let density = RuleDensity::from_model(&model).report(1);
-    let density_hit = density
+    // Edge trim 0: the sweep scores raw hits, boundary minima included.
+    let density_detector = DensityDetector::new(config.clone(), 1).with_trim_edge(0);
+    let density_hit = density_detector
+        .report_model(&model, recorder)
         .anomalies
         .first()
         .is_some_and(|an| an.interval.overlaps(&wide_truth));
 
-    let rra_hit = match rra::discords_with(values, &model, 1, 0, recorder) {
+    let rra_detector = RraDetector::new(config, 1).with_engine(EngineConfig::sequential());
+    let rra_hit = match rra_detector.search_model(values, &model, ws, recorder) {
         Ok(report) => report
             .discords
             .first()
@@ -228,12 +239,14 @@ fn evaluate_one<R: Recorder>(
         Err(_) => false,
     };
 
+    let grammar_size = model.grammar.grammar_size();
+    ws.recycle_model(model);
     Ok(SweepPoint {
         window: w,
         paa: p,
         alphabet: a,
         approximation_distance: reconstruction_error(values, w, p),
-        grammar_size: model.grammar.grammar_size(),
+        grammar_size,
         density_hit,
         rra_hit,
     })

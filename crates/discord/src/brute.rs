@@ -47,6 +47,22 @@ pub fn brute_force_discords(
     n: usize,
     k: usize,
 ) -> Result<(Vec<DiscordRecord>, SearchStats)> {
+    brute_force_discords_in(values, n, k, &mut Vec::new())
+}
+
+/// [`brute_force_discords`] with a caller-owned scratch buffer for the
+/// pre-normalized windows (`O(count * n)` floats). Repeated searches
+/// through the same buffer stop re-allocating once it has warmed up to the
+/// largest `count * n` seen.
+///
+/// # Errors
+/// Same as [`brute_force_discords`].
+pub fn brute_force_discords_in(
+    values: &[f64],
+    n: usize,
+    k: usize,
+    normed: &mut Vec<f64>,
+) -> Result<(Vec<DiscordRecord>, SearchStats)> {
     if n == 0 {
         return Err(Error::ZeroLength);
     }
@@ -63,7 +79,7 @@ pub fn brute_force_discords(
 
     // Pre-normalize every window once: O(count * n) memory would be heavy
     // for large inputs, but brute force is only run on small series anyway.
-    let mut normed: Vec<f64> = vec![0.0; count * n];
+    normed.resize(count * n, 0.0);
     for p in 0..count {
         znorm_into(
             &values[p..p + n],

@@ -70,6 +70,44 @@ impl HotSaxConfig {
 /// opts into a different seed.
 const DEFAULT_SEED: u64 = 0x5EED;
 
+/// Reusable scratch state for [`hotsax_discords_in`]: discretization
+/// records and buffers, visit orders, bucket index, and the z-norm pair.
+/// Repeated searches through one scratch stop re-allocating after warm-up
+/// (only the per-word `SaxWord` boxes and the per-bucket lists are fresh
+/// each call).
+#[derive(Debug, Default)]
+pub struct HotSaxScratch {
+    records: Vec<gv_sax::SaxRecord>,
+    zbuf: Vec<f64>,
+    pbuf: Vec<f64>,
+    bucket_of: Vec<u32>,
+    outer: Vec<u32>,
+    inner: Vec<u32>,
+    buf_p: Vec<f64>,
+    buf_q: Vec<f64>,
+}
+
+impl HotSaxScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacities of the reusable buffers, for allocation-stability
+    /// assertions.
+    pub fn capacities(&self) -> [usize; 7] {
+        [
+            self.records.capacity(),
+            self.zbuf.capacity(),
+            self.pbuf.capacity(),
+            self.bucket_of.capacity(),
+            self.outer.capacity(),
+            self.inner.capacity(),
+            self.buf_p.capacity().max(self.buf_q.capacity()),
+        ]
+    }
+}
+
 /// Finds the top-`k` fixed-length discords with the HOTSAX heuristics.
 ///
 /// Returns discords best-first plus the search cost. Results are exact:
@@ -82,6 +120,20 @@ pub fn hotsax_discords(
     config: &HotSaxConfig,
     k: usize,
 ) -> Result<(Vec<DiscordRecord>, SearchStats)> {
+    hotsax_discords_in(values, config, k, &mut HotSaxScratch::new())
+}
+
+/// [`hotsax_discords`] running through a caller-owned [`HotSaxScratch`],
+/// for repeated searches that should not re-allocate their working state.
+///
+/// # Errors
+/// Same as [`hotsax_discords`].
+pub fn hotsax_discords_in(
+    values: &[f64],
+    config: &HotSaxConfig,
+    k: usize,
+    scratch: &mut HotSaxScratch,
+) -> Result<(Vec<DiscordRecord>, SearchStats)> {
     let n = config.discord_len;
     if 2 * n > values.len() {
         return Err(Error::LengthTooLarge {
@@ -93,16 +145,26 @@ pub fn hotsax_discords(
 
     // SAX word per position (no numerosity reduction: every position keeps
     // its word so the buckets index all candidates).
-    let records = config.sax.discretize(values, NumerosityReduction::None)?;
+    config.sax.discretize_into(
+        values,
+        NumerosityReduction::None,
+        &gv_obs::NoopRecorder,
+        &mut scratch.records,
+        &mut scratch.zbuf,
+        &mut scratch.pbuf,
+    )?;
+    let records = &scratch.records;
     debug_assert_eq!(records.len(), count);
 
     // Bucket positions by word; remember each position's bucket.
-    let mut bucket_of: Vec<u32> = vec![0; count];
+    let bucket_of = &mut scratch.bucket_of;
+    bucket_of.clear();
+    bucket_of.resize(count, 0);
     let mut buckets: Vec<Vec<u32>> = Vec::new();
     {
         let mut index: std::collections::HashMap<&gv_sax::SaxWord, u32> =
             std::collections::HashMap::new();
-        for rec in &records {
+        for rec in records {
             let id = *index.entry(&rec.word).or_insert_with(|| {
                 buckets.push(Vec::new());
                 (buckets.len() - 1) as u32
@@ -115,31 +177,37 @@ pub fn hotsax_discords(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Outer order: ascending bucket size, random within ties.
-    let mut outer: Vec<u32> = (0..count as u32).collect();
+    let outer = &mut scratch.outer;
+    outer.clear();
+    outer.extend(0..count as u32);
     outer.shuffle(&mut rng);
     outer.sort_by_key(|&p| buckets[bucket_of[p as usize] as usize].len());
 
     // Inner order for the "rest" phase: one shared random permutation.
-    let mut inner: Vec<u32> = (0..count as u32).collect();
+    let inner = &mut scratch.inner;
+    inner.clear();
+    inner.extend(0..count as u32);
     inner.shuffle(&mut rng);
 
     let mut meter = DistanceMeter::new();
     let mut stats = SearchStats::default();
     let mut found: Vec<DiscordRecord> = Vec::new();
-    let mut buf_p = vec![0.0; n];
-    let mut buf_q = vec![0.0; n];
+    let buf_p = &mut scratch.buf_p;
+    let buf_q = &mut scratch.buf_q;
+    buf_p.resize(n, 0.0);
+    buf_q.resize(n, 0.0);
 
     for rank in 0..k {
         let mut best_dist = -1.0f64;
         let mut best_pos: Option<usize> = None;
 
-        for &p32 in &outer {
+        for &p32 in outer.iter() {
             let p = p32 as usize;
             let p_iv = Interval::with_len(p, n);
             if found.iter().any(|d| d.interval().overlaps(&p_iv)) {
                 continue;
             }
-            znorm_into(&values[p..p + n], DEFAULT_ZNORM_THRESHOLD, &mut buf_p);
+            znorm_into(&values[p..p + n], DEFAULT_ZNORM_THRESHOLD, buf_p);
             let mut nearest = f64::INFINITY;
             let mut pruned = false;
 
@@ -150,8 +218,8 @@ pub fn hotsax_discords(
                 if p.abs_diff(q) < n {
                     continue;
                 }
-                znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, &mut buf_q);
-                if let Some(d) = meter.euclidean_early(&buf_p, &buf_q, nearest) {
+                znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, buf_q);
+                if let Some(d) = meter.euclidean_early(buf_p, buf_q, nearest) {
                     if d < nearest {
                         nearest = d;
                     }
@@ -164,13 +232,13 @@ pub fn hotsax_discords(
 
             // Phase 2: everything else in random order.
             if !pruned {
-                for &q32 in &inner {
+                for &q32 in inner.iter() {
                     let q = q32 as usize;
                     if bucket_of[q] == bucket_of[p] || p.abs_diff(q) < n {
                         continue;
                     }
-                    znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, &mut buf_q);
-                    if let Some(d) = meter.euclidean_early(&buf_p, &buf_q, nearest) {
+                    znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, buf_q);
+                    if let Some(d) = meter.euclidean_early(buf_p, buf_q, nearest) {
                         if d < nearest {
                             nearest = d;
                         }

@@ -33,9 +33,9 @@ mod hotsax;
 mod multi_length;
 mod record;
 
-pub use brute::{brute_force_call_count, brute_force_discords};
+pub use brute::{brute_force_call_count, brute_force_discords, brute_force_discords_in};
 pub use distance::DistanceMeter;
 pub use error::{Error, Result};
-pub use hotsax::{hotsax_discords, HotSaxConfig};
+pub use hotsax::{hotsax_discords, hotsax_discords_in, HotSaxConfig, HotSaxScratch};
 pub use multi_length::{multi_length_hotsax, MultiLengthReport};
 pub use record::{DiscordRecord, SearchStats};

@@ -165,6 +165,31 @@ impl SaxConfig {
         nr: NumerosityReduction,
         recorder: &R,
     ) -> Result<Vec<SaxRecord>> {
+        let mut records = Vec::new();
+        let mut zbuf = Vec::new();
+        let mut pbuf = Vec::new();
+        self.discretize_into(values, nr, recorder, &mut records, &mut zbuf, &mut pbuf)?;
+        Ok(records)
+    }
+
+    /// [`SaxConfig::discretize_with`] writing into caller-owned buffers:
+    /// `records` is cleared and refilled, `zbuf`/`pbuf` are the z-norm/PAA
+    /// scratch. Repeated calls through the same buffers (e.g. a detection
+    /// workspace) allocate nothing once warm — only the `SaxWord`s
+    /// themselves are fresh, since they are owned by the records.
+    ///
+    /// # Errors
+    /// Same as [`SaxConfig::discretize`].
+    pub fn discretize_into<R: Recorder>(
+        &self,
+        values: &[f64],
+        nr: NumerosityReduction,
+        recorder: &R,
+        records: &mut Vec<SaxRecord>,
+        zbuf: &mut Vec<f64>,
+        pbuf: &mut Vec<f64>,
+    ) -> Result<()> {
+        records.clear();
         if values.is_empty() {
             return Err(Error::EmptyInput);
         }
@@ -175,15 +200,14 @@ impl SaxConfig {
             });
         }
         time_stage(recorder, Stage::Discretize, || {
-            let mut records: Vec<SaxRecord> = Vec::new();
             let mut windows_processed = 0u64;
             let mut words_dropped = 0u64;
-            let mut zbuf = vec![0.0; self.window];
-            let mut pbuf = vec![0.0; self.paa_size];
+            zbuf.resize(self.window, 0.0);
+            pbuf.resize(self.paa_size, 0.0);
             let windows = SlidingWindows::new(values, self.window).expect("window validated above");
             for (offset, win) in windows {
                 windows_processed += 1;
-                let word = self.word_for(win, &mut zbuf, &mut pbuf);
+                let word = self.word_for(win, zbuf, pbuf);
                 match records.last() {
                     Some(last) if nr.drops(&last.word, &word) => words_dropped += 1,
                     _ => records.push(SaxRecord { word, offset }),
@@ -192,7 +216,7 @@ impl SaxConfig {
             recorder.add(Counter::WindowsProcessed, windows_processed);
             recorder.add(Counter::WordsEmitted, records.len() as u64);
             recorder.add(Counter::WordsDropped, words_dropped);
-            Ok(records)
+            Ok(())
         })
     }
 }

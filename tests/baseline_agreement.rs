@@ -79,6 +79,57 @@ fn rra_matches_exhaustive_profile_across_seeds() {
 }
 
 #[test]
+fn detectors_agree_through_the_trait() {
+    // The same agreement claims, but dispatched through `dyn Detector` —
+    // the way the CLI and benches now drive every algorithm.
+    use grammarviz::core::{
+        BruteForceDetector, Detector, EngineConfig, HotSaxDetector, PipelineConfig, RraDetector,
+        SeriesView, Workspace,
+    };
+    use grammarviz::obs::NoopRecorder;
+    let v: Vec<f64> = {
+        let mut v: Vec<f64> = (0..3000).map(|i| (i as f64 / 20.0).sin()).collect();
+        for (i, x) in v[1500..1580].iter_mut().enumerate() {
+            *x = 0.2 * (i as f64 / 5.0).cos();
+        }
+        v
+    };
+    let series = SeriesView::new(&v);
+    let config = PipelineConfig::new(100, 4, 4).unwrap();
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(BruteForceDetector::new(100, 1)),
+        Box::new(HotSaxDetector::new(
+            HotSaxConfig::new(100, 4, 4).unwrap(),
+            1,
+        )),
+        Box::new(RraDetector::new(config, 1).with_engine(EngineConfig::sequential())),
+    ];
+    let mut ws = Workspace::new();
+    let reports: Vec<_> = detectors
+        .iter()
+        .map(|d| d.detect(&series, &mut ws, &NoopRecorder).unwrap())
+        .collect();
+    // Brute force and HOTSAX agree exactly (same fixed-length problem).
+    let (bf, hs) = (&reports[0].anomalies[0], &reports[1].anomalies[0]);
+    assert_eq!(bf.interval.start, hs.interval.start);
+    assert!((bf.score - hs.score).abs() < 1e-9);
+    // All three locate the plant (RRA's length varies; slack one window).
+    let plant = grammarviz::timeseries::Interval::new(1400, 1680);
+    for (det, report) in detectors.iter().zip(&reports) {
+        assert_eq!(report.detector, det.name());
+        assert!(
+            report.anomalies[0].interval.overlaps(&plant),
+            "{} reported {} missing the plant",
+            det.name(),
+            report.anomalies[0].interval
+        );
+    }
+    // Cost ordering survives the unified interface (the Table 1 claim).
+    assert!(reports[2].stats.distance_calls < reports[1].stats.distance_calls);
+    assert!(reports[0].stats.distance_calls > reports[1].stats.distance_calls);
+}
+
+#[test]
 fn rra_cheaper_than_hotsax_on_regular_data() {
     // The headline Table 1 claim, as a regression test.
     let v: Vec<f64> = {

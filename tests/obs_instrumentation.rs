@@ -6,7 +6,9 @@ use grammarviz::core::obs::{
     CollectingRecorder, Counter, EventKind, LocalRecorder, Metric, NoopRecorder, PipelineTrace,
     Recorder, Stage,
 };
-use grammarviz::core::{rra, rule_intervals, AnomalyPipeline, PipelineConfig, StreamingDetector};
+use grammarviz::core::{
+    rra, rule_intervals, AnomalyPipeline, EngineConfig, PipelineConfig, StreamingDetector,
+};
 
 fn fixture() -> Vec<f64> {
     let mut values: Vec<f64> = (0..2000).map(|i| (i as f64 / 20.0).sin()).collect();
@@ -17,7 +19,11 @@ fn fixture() -> Vec<f64> {
 }
 
 fn pipeline() -> AnomalyPipeline {
+    // Pinned to one thread: these tests compare cost counters across runs,
+    // which is only exact sequentially. The parallel counterpart of the
+    // ledger invariant lives in `tests/parallel_determinism.rs`.
     AnomalyPipeline::new(PipelineConfig::new(100, 5, 4).unwrap())
+        .with_engine(EngineConfig::sequential())
 }
 
 #[test]
