@@ -43,7 +43,7 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| {
             let mut det = StreamingDetector::new(PipelineConfig::new(100, 4, 4).unwrap());
             for &v in &values {
-                det.push(v);
+                det.push(v).unwrap();
             }
             det.num_tokens()
         })

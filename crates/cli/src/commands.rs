@@ -24,6 +24,7 @@ commands:
   dot       write the grammar hierarchy as GraphViz DOT (--out FILE)
   export    write the series and its rule-density curve as CSV
   stream    replay a file through the online detector (early detection)
+  check     verify the paper invariants on a series (PASS/FAIL report)
   demo      run density + RRA on a built-in synthetic dataset
 
 common options:
@@ -84,6 +85,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "metrics-every",
             "metrics",
         ]),
+        "check" => Some(&[
+            "file", "column", "window", "paa", "alphabet", "top", "threads",
+        ]),
         "demo" => Some(&["dataset", "top", "width", "trace", "metrics", "threads"]),
         "help" => Some(&[]),
         _ => None,
@@ -107,6 +111,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("dot") => dot(&args),
         Some("export") => export(&args),
         Some("stream") => stream(&args),
+        Some("check") => check(&args),
         Some("demo") => demo(&args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -475,7 +480,7 @@ fn stream(args: &Args) -> Result<(), String> {
     );
     let mut reported: Vec<Interval> = Vec::new();
     for (i, v) in series.iter() {
-        det.push(v);
+        det.push(v).map_err(|e| format!("point {}: {e}", i + 1))?;
         if (i + 1) % check_every == 0 || i + 1 == series.len() {
             for alert in det.alerts(threshold, maturity) {
                 if !reported.iter().any(|r| r.overlaps(&alert)) {
@@ -503,6 +508,38 @@ fn stream(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `gv check`: run every `gv-check` invariant verifier on the series —
+/// Sequitur digram uniqueness / rule utility, R0 reconstruction,
+/// occurrence mapping, density recount, and the RRA-vs-brute-force
+/// differential — and print the PASS/FAIL report. Fails (non-zero exit
+/// through `main`) if any invariant is violated.
+fn check(args: &Args) -> Result<(), String> {
+    let series = load_series(args)?;
+    let window = window_for(args, &series)?;
+    let paa = args.usize_or("paa", 4)?;
+    let alphabet = args.usize_or("alphabet", 4)?;
+    let k = args.usize_or("top", 3)?;
+    let threads = engine_for(args)?.threads();
+    let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    let report =
+        gv_check::check_series(series.values(), &config, k, threads).map_err(|e| e.to_string())?;
+    println!(
+        "series: {} ({} points, W={window} P={paa} A={alphabet}, top {k}, {threads} thread(s))",
+        series.name(),
+        series.len()
+    );
+    print!("{}", report.render());
+    if report.passed() {
+        println!("all invariants hold");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s) — this is a bug in the pipeline, please report it",
+            report.num_violations()
+        ))
+    }
 }
 
 fn demo(args: &Args) -> Result<(), String> {
@@ -741,5 +778,65 @@ mod tests {
     #[test]
     fn missing_file_reports_error() {
         assert!(run(&argv("density --file /nonexistent.csv --window 10")).is_err());
+    }
+
+    #[test]
+    fn check_command_verifies_invariants() {
+        let data = gv_datasets::ecg::ecg0606(Default::default());
+        let dir = std::env::temp_dir().join("gv_cli_check_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ecg.csv");
+        gv_timeseries::write_csv_column(&path, &data.series).unwrap();
+        let core = format!(
+            "--file {} --window 120 --paa 4 --alphabet 4",
+            path.display()
+        );
+        assert!(run(&argv(&format!("check {core} --top 2"))).is_ok());
+        // The differential holds for the parallel search too.
+        assert!(run(&argv(&format!("check {core} --top 2 --threads 3"))).is_ok());
+        // check is a pipeline command: it rejects foreign options.
+        let err = run(&argv(&format!("check {core} --width 50"))).unwrap_err();
+        assert!(err.contains("unknown option --width"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_configs_are_errors_not_panics() {
+        let data = gv_datasets::ecg::ecg0606(Default::default());
+        let dir = std::env::temp_dir().join("gv_cli_degenerate_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ecg.csv");
+        gv_timeseries::write_csv_column(&path, &data.series).unwrap();
+        let file = format!("--file {}", path.display());
+        // Window longer than the series (2300 points).
+        let err = run(&argv(&format!("rra {file} --window 99999"))).unwrap_err();
+        assert!(err.contains("window"), "{err}");
+        // PAA size larger than the window.
+        let err = run(&argv(&format!("rra {file} --window 30 --paa 40"))).unwrap_err();
+        assert!(err.to_lowercase().contains("paa"), "{err}");
+        // One-letter alphabet cannot discretize anything.
+        let err = run(&argv(&format!("rra {file} --window 120 --alphabet 1"))).unwrap_err();
+        assert!(err.to_lowercase().contains("alphabet"), "{err}");
+        // Asking for zero discords is a parameter error for every detector.
+        for cmd in ["rra", "density", "hotsax"] {
+            let err = run(&argv(&format!("{cmd} {file} --window 120 --top 0"))).unwrap_err();
+            assert!(err.contains("at least one"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_csv_is_rejected_at_load() {
+        let dir = std::env::temp_dir().join("gv_cli_nan_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1.0\n2.0\nNaN\n3.0\n").unwrap();
+        for cmd in ["density", "rra", "check", "stream"] {
+            let err = run(&argv(&format!(
+                "{cmd} --file {} --window 2",
+                path.display()
+            )))
+            .unwrap_err();
+            assert!(err.contains("non-finite"), "{cmd}: {err}");
+            assert!(err.contains("index 2"), "{cmd}: {err}");
+        }
     }
 }

@@ -27,7 +27,7 @@ use gv_timeseries::Interval;
 
 use crate::config::PipelineConfig;
 use crate::density::{DensityReport, RuleDensity};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::intervals::rule_intervals_into;
 use crate::model::GrammarModel;
 use crate::rra::{self, RraReport, SearchOptions};
@@ -88,8 +88,21 @@ pub struct SeriesView<'a> {
 
 impl<'a> SeriesView<'a> {
     /// Wraps a raw series.
+    ///
+    /// No validation is performed here (the constructor is infallible for
+    /// ergonomics); every detector validates finiteness on entry. Use
+    /// [`SeriesView::try_new`] to surface the error at construction time.
     pub fn new(values: &'a [f64]) -> Self {
         Self { values }
+    }
+
+    /// Wraps a raw series, rejecting NaN/±∞ values up front.
+    ///
+    /// # Errors
+    /// [`crate::Error::NonFiniteInput`] naming the first offending index.
+    pub fn try_new(values: &'a [f64]) -> Result<Self> {
+        check_finite(values)?;
+        Ok(Self { values })
     }
 
     /// The underlying values.
@@ -112,6 +125,30 @@ impl<'a> From<&'a [f64]> for SeriesView<'a> {
     fn from(values: &'a [f64]) -> Self {
         Self::new(values)
     }
+}
+
+/// Rejects series containing NaN/±∞ with [`Error::NonFiniteInput`].
+///
+/// Called on every detection entry point: non-finite values would
+/// otherwise poison z-normalization, every distance, and the parallel
+/// AtomicU64 ranking bound (where NaN bit patterns compare as ordinary
+/// integers).
+pub(crate) fn check_finite(values: &[f64]) -> Result<()> {
+    match gv_timeseries::find_non_finite(values) {
+        Some(index) => Err(Error::NonFiniteInput { index }),
+        None => Ok(()),
+    }
+}
+
+/// Rejects `k = 0` discord requests with [`Error::InvalidParameter`] —
+/// "top zero anomalies" is a caller bug, not an empty result.
+pub(crate) fn check_k(k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(Error::InvalidParameter(
+            "k = 0: at least one discord must be requested".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// One detected anomaly in the unified report: the covered interval, the
@@ -292,6 +329,7 @@ impl Detector for RraDetector {
         ws: &mut Workspace,
         recorder: &dyn Recorder,
     ) -> Result<Report> {
+        check_k(self.k)?;
         let model = ws.build_model(&self.config, series.values(), &recorder)?;
         let searched = self.search_model(series.values(), &model, ws, recorder);
         let grammar_size = model.grammar.grammar_size();
@@ -357,6 +395,7 @@ impl Detector for DensityDetector {
         ws: &mut Workspace,
         recorder: &dyn Recorder,
     ) -> Result<Report> {
+        check_k(self.k)?;
         let model = ws.build_model(&self.config, series.values(), &recorder)?;
         let report = self.report_model(&model, recorder);
         let grammar_size = model.grammar.grammar_size();
@@ -409,6 +448,8 @@ impl Detector for BruteForceDetector {
         ws: &mut Workspace,
         recorder: &dyn Recorder,
     ) -> Result<Report> {
+        check_k(self.k)?;
+        check_finite(series.values())?;
         let (discords, stats) =
             brute_force_discords_in(series.values(), self.discord_len, self.k, &mut ws.normed)?;
         publish_stats(recorder, &stats);
@@ -449,6 +490,8 @@ impl Detector for HotSaxDetector {
         ws: &mut Workspace,
         recorder: &dyn Recorder,
     ) -> Result<Report> {
+        check_k(self.k)?;
+        check_finite(series.values())?;
         let (discords, stats) =
             hotsax_discords_in(series.values(), &self.config, self.k, &mut ws.hotsax)?;
         publish_stats(recorder, &stats);
@@ -532,6 +575,91 @@ mod tests {
                 "{} reported {} missing the plant",
                 det.name(),
                 report.anomalies[0].interval
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected_by_every_detector() {
+        let mut v = planted();
+        v[1234] = f64::NAN;
+        let series = SeriesView::new(&v);
+        let config = PipelineConfig::new(100, 5, 4).unwrap();
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(RraDetector::new(config.clone(), 1).with_engine(EngineConfig::sequential())),
+            Box::new(DensityDetector::new(config, 1)),
+            Box::new(BruteForceDetector::new(100, 1)),
+            Box::new(HotSaxDetector::new(
+                HotSaxConfig::new(100, 4, 4).unwrap(),
+                1,
+            )),
+        ];
+        let mut ws = Workspace::new();
+        for det in &detectors {
+            let err = det.detect(&series, &mut ws, &NoopRecorder).unwrap_err();
+            assert_eq!(
+                err,
+                crate::Error::NonFiniteInput { index: 1234 },
+                "{} accepted a NaN series",
+                det.name()
+            );
+        }
+        // ±infinity is rejected just as firmly.
+        v[1234] = f64::INFINITY;
+        let series = SeriesView::new(&v);
+        for det in &detectors {
+            assert!(det.detect(&series, &mut ws, &NoopRecorder).is_err());
+        }
+        assert!(SeriesView::try_new(&v).is_err());
+        v[1234] = 0.5;
+        assert!(SeriesView::try_new(&v).is_ok());
+    }
+
+    #[test]
+    fn k_zero_is_rejected_by_every_detector() {
+        let v = planted();
+        let series = SeriesView::new(&v);
+        let config = PipelineConfig::new(100, 5, 4).unwrap();
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(RraDetector::new(config.clone(), 0).with_engine(EngineConfig::sequential())),
+            Box::new(DensityDetector::new(config, 0)),
+            Box::new(BruteForceDetector::new(100, 0)),
+            Box::new(HotSaxDetector::new(
+                HotSaxConfig::new(100, 4, 4).unwrap(),
+                0,
+            )),
+        ];
+        let mut ws = Workspace::new();
+        for det in &detectors {
+            let err = det.detect(&series, &mut ws, &NoopRecorder).unwrap_err();
+            assert!(
+                matches!(err, crate::Error::InvalidParameter(_)),
+                "{}: expected InvalidParameter for k = 0, got {err:?}",
+                det.name()
+            );
+        }
+    }
+
+    #[test]
+    fn window_longer_than_series_is_an_error_not_a_panic() {
+        let v: Vec<f64> = (0..50).map(|i| (i as f64 / 4.0).sin()).collect();
+        let series = SeriesView::new(&v);
+        let config = PipelineConfig::new(100, 5, 4).unwrap();
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(RraDetector::new(config.clone(), 1).with_engine(EngineConfig::sequential())),
+            Box::new(DensityDetector::new(config, 1)),
+            Box::new(BruteForceDetector::new(100, 1)),
+            Box::new(HotSaxDetector::new(
+                HotSaxConfig::new(100, 4, 4).unwrap(),
+                1,
+            )),
+        ];
+        let mut ws = Workspace::new();
+        for det in &detectors {
+            assert!(
+                det.detect(&series, &mut ws, &NoopRecorder).is_err(),
+                "{} should reject window > series length",
+                det.name()
             );
         }
     }

@@ -23,6 +23,16 @@ pub enum Error {
     /// A fixed-length baseline detector (brute force / HOTSAX) rejected its
     /// parameters.
     Discord(String),
+    /// The input contains a NaN or infinite value. Non-finite inputs poison
+    /// z-normalization, every distance, and the parallel ranking bound, so
+    /// they are rejected before the pipeline runs.
+    NonFiniteInput {
+        /// Index of the first non-finite value.
+        index: usize,
+    },
+    /// A configuration parameter was outside its documented domain (e.g.
+    /// `k = 0` discords requested).
+    InvalidParameter(String),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +51,10 @@ impl fmt::Display for Error {
                 )
             }
             Error::Discord(msg) => write!(f, "discord search error: {msg}"),
+            Error::NonFiniteInput { index } => {
+                write!(f, "non-finite value (NaN or infinity) at index {index}")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }
 }
@@ -88,5 +102,11 @@ mod tests {
         assert!(Error::NoCandidates
             .to_string()
             .contains("no anomaly candidates"));
+        let nf = Error::NonFiniteInput { index: 3 };
+        assert!(nf.to_string().contains("non-finite"));
+        assert!(nf.to_string().contains('3'));
+        assert!(Error::InvalidParameter("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
     }
 }

@@ -78,7 +78,7 @@ pub use intervals::{rule_intervals, rule_intervals_into, RuleInterval};
 pub use model::GrammarModel;
 pub use motifs::{motifs, Motif};
 pub use pipeline::AnomalyPipeline;
-pub use rra::{nn_distance_profile, RraReport, SearchOptions};
+pub use rra::{nn_distance_profile, reference_nn, reference_rank, RraReport, SearchOptions};
 pub use streaming::StreamingDetector;
 pub use workspace::Workspace;
 

@@ -35,7 +35,7 @@ use crate::workspace::Workspace;
 /// let mut det = StreamingDetector::new(config);
 /// for i in 0..2000 {
 ///     let v = (i as f64 / 12.0).sin();
-///     det.push(if (900..960).contains(&i) { 0.0 } else { v });
+///     det.push(if (900..960).contains(&i) { 0.0 } else { v }).unwrap();
 /// }
 /// let alerts = det.alerts(0, 100);
 /// assert!(alerts.iter().any(|iv| iv.start >= 800 && iv.end <= 1100));
@@ -148,7 +148,15 @@ impl<R: Recorder> StreamingDetector<R> {
     /// Consumes one observation. Once `window` points have arrived, each
     /// push discretizes the window *ending* at this point and feeds the
     /// grammar (subject to numerosity reduction).
-    pub fn push(&mut self, value: f64) {
+    ///
+    /// # Errors
+    /// [`crate::Error::NonFiniteInput`] for a NaN/±∞ observation; the
+    /// value is *not* consumed (the stream state is unchanged), so a
+    /// caller may drop or repair the sample and continue.
+    pub fn push(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(crate::Error::NonFiniteInput { index: self.seen });
+        }
         let window = self.config.window();
         self.values.push(value);
         self.buffer.push_back(value);
@@ -157,7 +165,7 @@ impl<R: Recorder> StreamingDetector<R> {
         }
         self.seen += 1;
         if self.buffer.len() < window {
-            return;
+            return Ok(());
         }
         let offset = self.seen - window;
         // SAX the current window. `make_contiguous` is O(1) amortized here
@@ -187,6 +195,7 @@ impl<R: Recorder> StreamingDetector<R> {
         if self.metrics_every > 0 && self.seen.is_multiple_of(self.metrics_every) {
             self.flush_metrics();
         }
+        Ok(())
     }
 
     /// Builds one periodic snapshot from the detector's own state (the
@@ -289,7 +298,7 @@ mod tests {
 
     fn feed(det: &mut StreamingDetector, values: impl IntoIterator<Item = f64>) {
         for v in values {
-            det.push(v);
+            det.push(v).unwrap();
         }
     }
 
@@ -336,7 +345,7 @@ mod tests {
             } else {
                 (i as f64 / 12.0).sin()
             };
-            det.push(v);
+            det.push(v).unwrap();
         }
         let alerts = det.alerts(0, 100);
         assert!(
@@ -353,10 +362,10 @@ mod tests {
         let mut det = StreamingDetector::new(config);
         // Regular data, then an anomaly right at the stream head.
         for i in 0..1000usize {
-            det.push((i as f64 / 12.0).sin());
+            det.push((i as f64 / 12.0).sin()).unwrap();
         }
         for i in 0..30usize {
-            det.push(5.0 + i as f64); // fresh anomaly, too young to alert
+            det.push(5.0 + i as f64).unwrap(); // fresh anomaly, too young to alert
         }
         let alerts = det.alerts(0, 200);
         assert!(
@@ -377,12 +386,12 @@ mod tests {
             }
         };
         for i in 0..900usize {
-            det.push(signal(i));
+            det.push(signal(i)).unwrap();
         }
         let early = det.alerts(0, 100);
         // Keep streaming regular data past the maturity horizon.
         for i in 900..1400usize {
-            det.push(signal(i));
+            det.push(signal(i)).unwrap();
         }
         let later = det.alerts(0, 100);
         let hit = |alerts: &[Interval]| {
@@ -398,13 +407,77 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_push_is_rejected_without_consuming() {
+        let config = PipelineConfig::new(32, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config);
+        for i in 0..100usize {
+            det.push((i as f64 / 8.0).sin()).unwrap();
+        }
+        let tokens = det.num_tokens();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = det.push(bad).unwrap_err();
+            assert_eq!(err, crate::Error::NonFiniteInput { index: 100 });
+        }
+        // Stream state unchanged: the caller can repair and continue.
+        assert_eq!(det.len(), 100);
+        assert_eq!(det.num_tokens(), tokens);
+        det.push(0.5).unwrap();
+        assert_eq!(det.len(), 101);
+    }
+
+    #[test]
+    fn clean_periodic_tail_is_not_alerted() {
+        // Satellite regression: on a perfectly clean periodic stream the
+        // structurally under-covered tail (rules spanning it haven't formed
+        // yet) must be masked by the maturity horizon, not reported.
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config);
+        for i in 0..2000usize {
+            det.push((i as f64 / 12.0).sin()).unwrap();
+        }
+        let maturity = 150;
+        let curve = det.density_curve();
+        let horizon = det.len() - maturity;
+        // The tail *is* structurally under-covered: its density dips below
+        // the mature region's floor because rules spanning it haven't had a
+        // chance to form yet.
+        let tail_min = *curve[horizon..].iter().min().unwrap();
+        let mature_min = *curve[det.config().window()..horizon].iter().min().unwrap();
+        assert!(
+            tail_min < mature_min,
+            "expected the tail (min {tail_min}) below the mature floor ({mature_min})"
+        );
+        // At a threshold that catches the tail dip, the raw curve reports
+        // it (non-vacuous)...
+        let density = RuleDensity::from_curve(curve);
+        assert!(
+            density
+                .anomalies_below(tail_min)
+                .iter()
+                .any(|iv| iv.end > horizon),
+            "expected a raw under-coverage run past the horizon"
+        );
+        // ...but the maturity horizon must mask it from the alerts.
+        let alerts = det.alerts(tail_min, maturity);
+        assert!(
+            alerts.iter().all(|iv| iv.end <= horizon),
+            "immature tail leaked into alerts: {alerts:?}"
+        );
+        // And at the default threshold the clean stream raises nothing.
+        assert!(
+            det.alerts(0, maturity).is_empty(),
+            "clean periodic stream raised alerts"
+        );
+    }
+
+    #[test]
     fn metrics_every_emits_periodic_snapshots() {
         use gv_obs::LocalRecorder;
         let config = PipelineConfig::new(50, 4, 4).unwrap();
         let mut det = StreamingDetector::with_recorder(config.clone(), LocalRecorder::new())
             .metrics_every(200);
         for i in 0..1000usize {
-            det.push((i as f64 / 12.0).sin());
+            det.push((i as f64 / 12.0).sin()).unwrap();
         }
         assert_eq!(det.snapshots().len(), 5);
         for (i, snap) in det.snapshots().iter().enumerate() {
@@ -431,7 +504,7 @@ mod tests {
         // Snapshots must not perturb the model: same tokens as a plain run.
         let mut plain = StreamingDetector::new(config);
         for i in 0..1000usize {
-            plain.push((i as f64 / 12.0).sin());
+            plain.push((i as f64 / 12.0).sin()).unwrap();
         }
         assert_eq!(plain.num_tokens(), det.num_tokens());
         assert_eq!(det.take_snapshots().len(), 5);
@@ -477,8 +550,8 @@ mod tests {
         let mut counted = StreamingDetector::with_recorder(config, LocalRecorder::new());
         for i in 0..800usize {
             let v = (i as f64 / 12.0).sin();
-            plain.push(v);
-            counted.push(v);
+            plain.push(v).unwrap();
+            counted.push(v).unwrap();
         }
         // Instrumentation must not change the stream model.
         assert_eq!(plain.num_tokens(), counted.num_tokens());

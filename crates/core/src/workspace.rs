@@ -56,13 +56,15 @@ impl Workspace {
     /// via [`Workspace::recycle_model`] when done to keep their capacity.
     ///
     /// # Errors
-    /// Discretization errors (window too long, etc.).
+    /// [`crate::Error::NonFiniteInput`] for NaN/±∞ values; discretization
+    /// errors (window too long, etc.).
     pub fn build_model<R: Recorder>(
         &mut self,
         config: &PipelineConfig,
         values: &[f64],
         recorder: &R,
     ) -> Result<GrammarModel> {
+        crate::engine::check_finite(values)?;
         config.sax().discretize_into(
             values,
             config.numerosity_reduction(),
@@ -153,6 +155,16 @@ mod tests {
         assert_eq!(a.grammar.grammar_size(), b.grammar.grammar_size());
         assert_eq!(a.dictionary.len(), b.dictionary.len());
         assert_eq!((a.series_len, a.window), (b.series_len, b.window));
+    }
+
+    #[test]
+    fn build_model_rejects_non_finite_values() {
+        let config = PipelineConfig::new(80, 4, 4).unwrap();
+        let mut v = series();
+        v[42] = f64::NEG_INFINITY;
+        let mut ws = Workspace::new();
+        let err = ws.build_model(&config, &v, &NoopRecorder).unwrap_err();
+        assert_eq!(err, crate::Error::NonFiniteInput { index: 42 });
     }
 
     #[test]

@@ -36,6 +36,27 @@ proptest! {
         }
     }
 
+    /// Mass conservation under fractional boundaries (§3.1): every segment
+    /// covers exactly n/w points' worth of mass — boundary points
+    /// contribute fractionally to the two segments they straddle — so the
+    /// equal-weight average of the segment means reproduces the global
+    /// mean for *arbitrary* (n, w), not just when w divides n.
+    #[test]
+    fn paa_segment_means_preserve_global_mean(
+        v in proptest::collection::vec(-100.0f64..100.0, 1..96),
+        w in 1usize..32,
+    ) {
+        let p = paa(&v, w);
+        prop_assert_eq!(p.len(), w);
+        let paa_mean = p.iter().sum::<f64>() / w as f64;
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let scale = v.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+        prop_assert!(
+            (paa_mean - mean).abs() <= 1e-9 * scale,
+            "n={} w={}: paa mean {} vs global mean {}", v.len(), w, paa_mean, mean
+        );
+    }
+
     /// Alphabet symbols are monotone in the value: larger values never get
     /// smaller symbols.
     #[test]

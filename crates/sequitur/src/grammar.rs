@@ -50,6 +50,57 @@ pub struct RuleOccurrence {
     pub token_len: usize,
 }
 
+/// The Sequitur invariants (paper §3; Nevill-Manning & Witten) that
+/// [`Grammar::check_invariants`] verifies mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Invariant {
+    /// `R0` must expand exactly to the original input token sequence.
+    RoundTrip,
+    /// *Rule utility*: every rule but `R0` is referenced at least twice,
+    /// and the recorded use count matches a recount of the right-hand
+    /// sides.
+    RuleUtility,
+    /// Every rule body but `R0`'s has at least two symbols (a shorter body
+    /// would compress nothing).
+    BodyLength,
+    /// *Digram uniqueness*: no adjacent symbol pair occurs twice across
+    /// all right-hand sides (overlapping runs like `a a a` count once).
+    DigramUniqueness,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Invariant::RoundTrip => "round-trip",
+            Invariant::RuleUtility => "rule utility",
+            Invariant::BodyLength => "body length",
+            Invariant::DigramUniqueness => "digram uniqueness",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One violated invariant: which property failed, the offending rule (when
+/// the violation is attributable to one), and a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The violated property.
+    pub invariant: Invariant,
+    /// The offending rule, when attributable.
+    pub rule: Option<RuleId>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rule {
+            Some(rule) => write!(f, "{} ({rule}): {}", self.invariant, self.detail),
+            None => write!(f, "{}: {}", self.invariant, self.detail),
+        }
+    }
+}
+
 /// An induced context-free grammar: the start rule `R0` plus the hierarchy
 /// of reusable rules.
 #[derive(Debug, Clone)]
@@ -221,14 +272,34 @@ impl Grammar {
     /// 4. *digram uniqueness*: no adjacent symbol pair occurs twice across
     ///    all right-hand sides (overlapping runs like `a a a` count once).
     pub fn verify(&self, input: &[u32]) -> Option<String> {
+        self.check_invariants(input).first().map(|v| v.to_string())
+    }
+
+    /// Checks every Sequitur invariant, collecting **all** violations
+    /// instead of stopping at the first (the structured sibling of
+    /// [`Grammar::verify`], used by the `gv-check` subsystem).
+    pub fn check_invariants(&self, input: &[u32]) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
         // 1. Round-trip.
         let expanded = self.expand_rule(self.r0_id());
         if expanded != input {
-            return Some(format!(
-                "R0 expansion (len {}) differs from input (len {})",
-                expanded.len(),
-                input.len()
-            ));
+            let detail = match expanded.iter().zip(input).position(|(a, b)| a != b) {
+                Some(at) => format!(
+                    "R0 expansion differs from input at token {at} \
+                     ({} vs {})",
+                    expanded[at], input[at]
+                ),
+                None => format!(
+                    "R0 expansion (len {}) differs from input (len {})",
+                    expanded.len(),
+                    input.len()
+                ),
+            };
+            out.push(InvariantViolation {
+                invariant: Invariant::RoundTrip,
+                rule: Some(self.r0_id()),
+                detail,
+            });
         }
         // 2. Utility + recount.
         let mut recount: HashMap<RuleId, usize> = HashMap::new();
@@ -245,17 +316,25 @@ impl Grammar {
             }
             let actual = recount.get(&r.id).copied().unwrap_or(0);
             if actual != r.rule_uses {
-                return Some(format!(
-                    "{}: recorded uses {} != recounted {}",
-                    r.id, r.rule_uses, actual
-                ));
-            }
-            if actual < 2 {
-                return Some(format!("{}: utility violated (used {actual} time)", r.id));
+                out.push(InvariantViolation {
+                    invariant: Invariant::RuleUtility,
+                    rule: Some(r.id),
+                    detail: format!("recorded uses {} != recounted {actual}", r.rule_uses),
+                });
+            } else if actual < 2 {
+                out.push(InvariantViolation {
+                    invariant: Invariant::RuleUtility,
+                    rule: Some(r.id),
+                    detail: format!("utility violated (used {actual} time)"),
+                });
             }
             // 3. Body length.
             if r.rhs.len() < 2 {
-                return Some(format!("{}: body has {} symbol(s)", r.id, r.rhs.len()));
+                out.push(InvariantViolation {
+                    invariant: Invariant::BodyLength,
+                    rule: Some(r.id),
+                    detail: format!("body has {} symbol(s)", r.rhs.len()),
+                });
             }
         }
         // 4. Digram uniqueness.
@@ -268,10 +347,11 @@ impl Grammar {
                     // Overlapping occurrence inside a run (e.g. `a a a`)
                     // counts as one digram, mirroring the algorithm.
                     if !(rid == r.id && at + 1 == i) {
-                        return Some(format!(
-                            "digram {key:?} appears in {rid} at {at} and {} at {i}",
-                            r.id
-                        ));
+                        out.push(InvariantViolation {
+                            invariant: Invariant::DigramUniqueness,
+                            rule: Some(r.id),
+                            detail: format!("digram {key:?} appears in {rid} at {at} and at {i}"),
+                        });
                     }
                 }
                 seen.insert(key, (r.id, i));
@@ -282,7 +362,7 @@ impl Grammar {
                 i += 1;
             }
         }
-        None
+        out
     }
 
     fn compute_expansion_lens(&self) -> Vec<usize> {
@@ -488,6 +568,63 @@ mod tests {
     fn verify_catches_roundtrip_mismatch() {
         let g = paper_grammar();
         assert!(g.verify(&[0, 0, 1, 2, 0, 0, 9]).is_some());
+    }
+
+    #[test]
+    fn check_invariants_collects_every_violation() {
+        // A grammar with an under-used rule AND a duplicate digram: the
+        // structured checker reports both, while `verify` reports the
+        // first.
+        let g = Grammar::from_rules(
+            vec![
+                GrammarRule {
+                    id: RuleId(0),
+                    rhs: vec![
+                        Symbol::Rule(RuleId(1)),
+                        Symbol::Terminal(7),
+                        Symbol::Terminal(8),
+                        Symbol::Terminal(7),
+                        Symbol::Terminal(8),
+                    ],
+                    rule_uses: 0,
+                },
+                GrammarRule {
+                    id: RuleId(1),
+                    rhs: vec![Symbol::Terminal(1), Symbol::Terminal(2)],
+                    rule_uses: 1,
+                },
+            ],
+            7,
+        );
+        let violations = g.check_invariants(&[1, 2, 7, 8, 7, 9]);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::RoundTrip));
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::RuleUtility && v.rule == Some(RuleId(1))));
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::DigramUniqueness));
+        assert!(violations.len() >= 3);
+        // Display carries the invariant name and rule.
+        let text = violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("rule utility (R1)"), "{text}");
+        // `verify` is the first violation, stringified.
+        assert_eq!(
+            g.verify(&[1, 2, 7, 8, 7, 9]),
+            Some(violations[0].to_string())
+        );
+    }
+
+    #[test]
+    fn check_invariants_clean_on_good_grammar() {
+        let g = paper_grammar();
+        assert!(g.check_invariants(&[0, 0, 1, 2, 0, 0, 1]).is_empty());
     }
 
     #[test]

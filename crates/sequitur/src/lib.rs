@@ -34,5 +34,7 @@ mod grammar;
 mod induction;
 
 pub use dot::to_dot;
-pub use grammar::{Grammar, GrammarRule, RuleId, RuleOccurrence, Symbol};
+pub use grammar::{
+    Grammar, GrammarRule, Invariant, InvariantViolation, RuleId, RuleOccurrence, Symbol,
+};
 pub use induction::{InductionStats, Sequitur};

@@ -23,6 +23,13 @@ pub enum Error {
     },
     /// A parameter was outside its documented domain.
     InvalidParameter(String),
+    /// The series contains a NaN or infinite value. Non-finite inputs
+    /// poison z-normalization and every distance downstream, so they are
+    /// rejected at load time.
+    NonFiniteInput {
+        /// Index of the first non-finite value.
+        index: usize,
+    },
     /// An IO failure while reading or writing series files.
     Io(std::io::Error),
     /// A value in a CSV file failed to parse as `f64`.
@@ -48,6 +55,9 @@ impl fmt::Display for Error {
                 start + len
             ),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::NonFiniteInput { index } => {
+                write!(f, "non-finite value (NaN or infinity) at index {index}")
+            }
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Parse { line, text } => {
                 write!(f, "line {line}: cannot parse {text:?} as a number")
@@ -93,6 +103,9 @@ mod tests {
         };
         assert!(p.to_string().contains("line 3"));
         assert!(p.to_string().contains("abc"));
+        let nf = Error::NonFiniteInput { index: 7 };
+        assert!(nf.to_string().contains("non-finite"));
+        assert!(nf.to_string().contains('7'));
     }
 
     #[test]

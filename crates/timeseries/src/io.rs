@@ -18,6 +18,10 @@ use crate::series::TimeSeries;
 /// Blank lines and lines starting with `#` are skipped. A single
 /// non-numeric first record is treated as a header and skipped; any later
 /// parse failure is an error.
+///
+/// Values that parse as NaN or ±infinity (Rust's `f64` parser accepts
+/// `"NaN"`, `"inf"`, …) are rejected with [`Error::NonFiniteInput`]: they
+/// poison z-normalization and every distance computed downstream.
 pub fn read_csv_column(path: impl AsRef<Path>, col: usize) -> Result<TimeSeries> {
     let path = path.as_ref();
     let file = File::open(path)?;
@@ -35,6 +39,11 @@ pub fn read_csv_column(path: impl AsRef<Path>, col: usize) -> Result<TimeSeries>
             text: trimmed.to_string(),
         })?;
         match field.trim().parse::<f64>() {
+            Ok(v) if !v.is_finite() => {
+                return Err(Error::NonFiniteInput {
+                    index: values.len(),
+                });
+            }
             Ok(v) => {
                 values.push(v);
                 first_data_line = false;
@@ -152,6 +161,22 @@ mod tests {
         let p = tmp("bad.csv", "1\nnot_a_number\n3\n");
         let err = read_csv_column(&p, 0).unwrap_err();
         assert!(matches!(err, Error::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        for (name, body) in [
+            ("nan.csv", "1\n2\nNaN\n4\n"),
+            ("inf.csv", "1\n2\ninf\n4\n"),
+            ("neginf.csv", "1\n2\n-inf\n4\n"),
+        ] {
+            let p = tmp(name, body);
+            let err = read_csv_column(&p, 0).unwrap_err();
+            assert!(
+                matches!(err, Error::NonFiniteInput { index: 2 }),
+                "{name}: expected NonFiniteInput at 2, got {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use interval::{merge_intervals, Interval};
 pub use io::{read_csv_column, write_csv_column, write_csv_columns};
 pub use period::{autocorrelation, dominant_period, suggest_window};
 pub use resample::{resample_linear, resample_to};
-pub use series::TimeSeries;
+pub use series::{find_non_finite, TimeSeries};
 pub use stats::{argmax, argmin, max, mean, mean_std, min, std_dev, RunningStats};
 pub use window::{subsequence, SlidingWindows};
 pub use znorm::{znorm, znorm_into, DEFAULT_ZNORM_THRESHOLD};

@@ -3,6 +3,15 @@
 use crate::error::{Error, Result};
 use crate::stats;
 
+/// Index of the first non-finite (NaN or ±∞) value, if any.
+///
+/// Non-finite observations poison z-normalization (the window mean becomes
+/// NaN) and every distance computed downstream, so loaders and detectors
+/// reject them up front with [`Error::NonFiniteInput`].
+pub fn find_non_finite(values: &[f64]) -> Option<usize> {
+    values.iter().position(|v| !v.is_finite())
+}
+
 /// An immutable-by-convention univariate time series: scalar observations
 /// ordered by time (paper §2, *Time series*).
 ///
@@ -29,6 +38,28 @@ impl TimeSeries {
         Self {
             name: name.into(),
             values,
+        }
+    }
+
+    /// Creates a series from raw values, rejecting NaN/±∞ observations.
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteInput`] naming the first offending index.
+    pub fn try_new(values: Vec<f64>) -> Result<Self> {
+        match find_non_finite(&values) {
+            Some(index) => Err(Error::NonFiniteInput { index }),
+            None => Ok(Self::new(values)),
+        }
+    }
+
+    /// Checks the series for NaN/±∞ observations.
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteInput`] naming the first offending index.
+    pub fn validate_finite(&self) -> Result<()> {
+        match find_non_finite(&self.values) {
+            Some(index) => Err(Error::NonFiniteInput { index }),
+            None => Ok(()),
         }
     }
 
@@ -174,6 +205,23 @@ mod tests {
         assert_eq!(pairs, vec![(0, 1.0), (1, 2.0)]);
         let ts2: TimeSeries = (&[3.0, 4.0][..]).into();
         assert_eq!(ts2.into_values(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert_eq!(find_non_finite(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(find_non_finite(&[1.0, f64::NAN, f64::INFINITY]), Some(1));
+        assert_eq!(find_non_finite(&[f64::NEG_INFINITY]), Some(0));
+        assert!(TimeSeries::try_new(vec![1.0, 2.0]).is_ok());
+        assert!(matches!(
+            TimeSeries::try_new(vec![1.0, f64::NAN]),
+            Err(Error::NonFiniteInput { index: 1 })
+        ));
+        let ts = TimeSeries::new(vec![f64::INFINITY]);
+        assert!(matches!(
+            ts.validate_finite(),
+            Err(Error::NonFiniteInput { index: 0 })
+        ));
     }
 
     #[test]

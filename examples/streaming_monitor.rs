@@ -37,7 +37,7 @@ fn main() {
     println!("streaming 10,000 points; fault injected at {fault}\n");
     let mut first_alert: Option<(usize, Interval)> = None;
     for t in 0..10_000usize {
-        detector.push(signal(t));
+        detector.push(signal(t)).expect("finite signal");
         // Check periodically, like a monitoring loop would.
         if t % 250 == 0 && t > 0 {
             let alerts = detector.alerts(0, 150);

@@ -40,3 +40,7 @@ pub use gva_core as core;
 
 /// Zero-overhead pipeline instrumentation (stage timers, counters, JSONL).
 pub use gv_obs as obs;
+
+/// Paper-invariant verification (Sequitur constraints, density recount,
+/// RRA-vs-brute-force differential).
+pub use gv_check as check;

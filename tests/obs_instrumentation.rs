@@ -248,9 +248,9 @@ fn streaming_detector_is_recorder_neutral() {
     let mut collecting = StreamingDetector::with_recorder(config.clone(), shared.clone());
     for i in 0..1500usize {
         let v = signal(i);
-        noop.push(v);
-        local.push(v);
-        collecting.push(v);
+        noop.push(v).unwrap();
+        local.push(v).unwrap();
+        collecting.push(v).unwrap();
     }
 
     // Byte-identical curves and alert rankings across all three recorders.
@@ -275,7 +275,7 @@ fn streaming_detector_is_recorder_neutral() {
             scope.spawn(move || {
                 let mut det = StreamingDetector::with_recorder(config, sink).metrics_every(500);
                 for i in 0..1500usize {
-                    det.push(signal(i));
+                    det.push(signal(i)).unwrap();
                 }
                 assert_eq!(det.snapshots().len(), 3);
             });
