@@ -75,9 +75,10 @@ fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
 
 fn validate_line(line: &str) -> Result<(), String> {
     let record: Value = serde_json::from_str(line).map_err(|e| format!("parse error: {e}"))?;
+    let want = gv_obs::SCHEMA_VERSION;
     match record.field("schema") {
-        Ok(Value::U64(2)) => {}
-        Ok(v) => return Err(format!("\"schema\" is {v:?}, expected 2")),
+        Ok(Value::U64(v)) if *v == want => {}
+        Ok(v) => return Err(format!("\"schema\" is {v:?}, expected {want}")),
         Err(e) => return Err(e.to_string()),
     }
     for key in required_keys(&record)? {

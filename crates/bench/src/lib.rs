@@ -4,4 +4,7 @@
 //! paper. See the `bin/` report binaries (one per table/figure) and the
 //! Criterion benches under `benches/`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod report;

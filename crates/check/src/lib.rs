@@ -27,6 +27,9 @@
 //! through all of it with a vendored, seeded PRNG; `gv check` exposes the
 //! same report on a user series.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use gv_discord::DiscordRecord;
 use gv_obs::NoopRecorder;
 use gva_core::{

@@ -25,6 +25,8 @@ commands:
   export    write the series and its rule-density curve as CSV
   stream    replay a file through the online detector (early detection)
   check     verify the paper invariants on a series (PASS/FAIL report)
+  lint      check the workspace source against the project's contracts
+            (determinism, hot-path allocation, error handling; --root DIR)
   demo      run density + RRA on a built-in synthetic dataset
 
 common options:
@@ -85,6 +87,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "metrics-every",
             "metrics",
         ]),
+        "lint" => Some(&["root"]),
         "check" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "threads",
         ]),
@@ -112,6 +115,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("export") => export(&args),
         Some("stream") => stream(&args),
         Some("check") => check(&args),
+        Some("lint") => lint(&args),
         Some("demo") => demo(&args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -539,6 +543,28 @@ fn check(args: &Args) -> Result<(), String> {
             "{} invariant violation(s) — this is a bug in the pipeline, please report it",
             report.num_violations()
         ))
+    }
+}
+
+/// `gv lint` — run the project's static-analysis contracts (gv-lint)
+/// over the workspace and print the report with its per-rule tally.
+/// Fails (non-zero exit through `main`) on any surviving violation, the
+/// same verdict the `gv_lint` CI gate enforces.
+fn lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            gv_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory (try --root)")?
+        }
+    };
+    let report = gv_lint::run(&root).map_err(|e| e.to_string())?;
+    print!("{}", gv_lint::report::render(&report));
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s)", report.violations.len()))
     }
 }
 

@@ -7,11 +7,15 @@
 //! gv hotsax  --file data.csv --window 150 [--paa 3] [--alphabet 3] [--top K]
 //! gv grammar --file data.csv --window 150 --paa 5 --alphabet 3 [--limit N]
 //! gv demo    --dataset ecg0606|power|video|tek14|tek16|tek17|nprs43|commute
+//! gv lint    [--root DIR]   # the gv-lint static-analysis gate
 //! ```
 //!
 //! Input files are single-column CSV (use `--column` to select another
 //! column). The `density` and `rra` subcommands replace the two anomaly
 //! panes of the GrammarViz 2.0 GUI (paper Figures 11–12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod args;
 mod commands;

@@ -48,6 +48,7 @@ impl Evaluation {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // gv-lint: allow(no-float-eq) guard against 0/0: precision and recall are exact 0.0 when their counts are zero
         if p + r == 0.0 {
             0.0
         } else {

@@ -48,6 +48,9 @@
 //! assert!(!rra.discords.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod config;
 mod density;
 pub mod engine;

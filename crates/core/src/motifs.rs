@@ -58,8 +58,8 @@ impl Motif {
 /// Extracts the top-`k` motifs, ordered by descending occurrence count
 /// (ties: longer expansions first — "more pattern" wins).
 pub fn motifs(model: &GrammarModel, k: usize) -> Vec<Motif> {
-    use std::collections::HashMap;
-    let mut per_rule: HashMap<RuleId, Vec<Interval>> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut per_rule: BTreeMap<RuleId, Vec<Interval>> = BTreeMap::new();
     for occ in model.grammar.occurrences() {
         per_rule
             .entry(occ.rule)

@@ -99,6 +99,7 @@ impl AnomalyPipeline {
         Ok(report
             .density()
             .cloned()
+            // gv-lint: allow(no-unwrap-in-lib) DensityDetector::detect always populates the density report; a None here is a bug, not an input error
             .expect("density detector always carries its report"))
     }
 

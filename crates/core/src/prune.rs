@@ -51,8 +51,8 @@ impl PrunedGrammar {
 
 /// Greedy set-cover pruning over the model's rule occurrences.
 pub fn prune(model: &GrammarModel) -> PrunedGrammar {
-    use std::collections::HashMap;
-    let mut per_rule: HashMap<RuleId, Vec<Interval>> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut per_rule: BTreeMap<RuleId, Vec<Interval>> = BTreeMap::new();
     for occ in model.grammar.occurrences() {
         per_rule
             .entry(occ.rule)

@@ -32,10 +32,11 @@
 //! counts) varies with thread count and timing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use gv_discord::{distance, DiscordRecord, SearchStats};
-use gv_obs::{Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, Stage};
+use gv_obs::{
+    Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, Stage, StageTimer,
+};
 use gv_sequitur::RuleId;
 use gv_timeseries::{resample_to, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
@@ -351,7 +352,7 @@ fn scan_candidate<F: Fn() -> f64>(
 
     let mut nearest = f64::INFINITY;
     let mut pruned = false;
-    let inner_started = timing.then(Instant::now);
+    let inner_timer = StageTimer::start_if(timing, Stage::RraInner);
 
     // Inner phase 1: same-rule siblings.
     if options.siblings_first {
@@ -414,9 +415,7 @@ fn scan_candidate<F: Fn() -> f64>(
         }
     }
 
-    if let Some(started) = inner_started {
-        local.record_duration(Stage::RraInner, started.elapsed().as_nanos() as u64);
-    }
+    inner_timer.finish(local);
     if detail {
         // A pruned candidate's `nearest` is finite by construction
         // (it dropped below `best_so_far`); a completed one may
@@ -474,7 +473,7 @@ pub(crate) fn search_in<R: Recorder>(
         LocalRecorder::counters_only()
     };
     let timing = recorder.enabled();
-    let outer_started = timing.then(Instant::now);
+    let outer_timer = StageTimer::start_if(timing, Stage::RraOuter);
     let mut rng = StdRng::seed_from_u64(seed);
     let n = candidates.len();
     let threads = threads.max(1);
@@ -536,13 +535,11 @@ pub(crate) fn search_in<R: Recorder>(
         }
     }
 
-    if let Some(started) = outer_started {
-        // The full search time; RraInner nests inside it, and the trace's
-        // total skips nested stages so nothing double-counts. Under a
-        // parallel search the merged RraInner sum can exceed this
-        // wall-clock figure — workers overlap.
-        local.record_duration(Stage::RraOuter, started.elapsed().as_nanos() as u64);
-    }
+    // The full search time; RraInner nests inside it, and the trace's
+    // total skips nested stages so nothing double-counts. Under a
+    // parallel search the merged RraInner sum can exceed this
+    // wall-clock figure — workers overlap.
+    outer_timer.finish(&local);
     let stats = SearchStats {
         distance_calls: local.counter(Counter::DistanceCalls),
         early_abandoned: local.counter(Counter::EarlyAbandons),
@@ -735,9 +732,12 @@ fn admissible(p: &RuleInterval, q: &RuleInterval) -> bool {
     p.interval.start.abs_diff(q.interval.start) >= p.interval.len()
 }
 
+// gv-lint: hot
 /// One inner-loop distance evaluation: z-normalize `q`, resample it onto
 /// `p`'s length, take the Eq. (1) distance with early abandoning against
-/// the current `nearest`.
+/// the current `nearest`. The scratch buffers are caller-owned precisely
+/// so this innermost call allocates nothing in the steady state (`resize`
+/// only grows them on the first few calls).
 #[allow(clippy::too_many_arguments)]
 fn evaluate<R: Recorder>(
     values: &[f64],
@@ -768,6 +768,7 @@ fn evaluate<R: Recorder>(
         }
     }
 }
+// gv-lint: end-hot
 
 /// Exact nearest-non-self-match distance of candidate `pi`, evaluated over
 /// every admissible candidate with **no pruning against a best-so-far

@@ -175,6 +175,7 @@ impl<R: Recorder> StreamingDetector<R> {
             .config
             .sax()
             .word(&slice)
+            // gv-lint: allow(no-unwrap-in-lib) buffer.len() == window > 0 was checked above; an empty window is unreachable
             .expect("window buffer is non-empty by construction");
         self.recorder.incr(Counter::WindowsProcessed);
         let keep = match self.records.last() {
@@ -210,12 +211,14 @@ impl<R: Recorder> StreamingDetector<R> {
         trace.counters[Counter::RulesDeleted.index()] = stats.rules_deleted;
         trace.counters[Counter::PeakDigramEntries.index()] = stats.peak_digram_entries;
         self.snapshots.push(trace);
-        self.recorder.record_event(Event {
-            position: self.seen as u64,
-            length: self.metrics_every as u64,
-            calls: self.records.len() as u64,
-            ..Event::new(EventKind::Flush)
-        });
+        if self.recorder.detailed() {
+            self.recorder.record_event(Event {
+                position: self.seen as u64,
+                length: self.metrics_every as u64,
+                calls: self.records.len() as u64,
+                ..Event::new(EventKind::Flush)
+            });
+        }
     }
 
     /// Snapshots the current grammar model over everything seen so far.

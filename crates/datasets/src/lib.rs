@@ -21,6 +21,9 @@
 //! assert_eq!(data.anomalies.len(), 1); // one premature beat
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod dataset;
 mod noise;
 

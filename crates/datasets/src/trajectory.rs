@@ -218,6 +218,7 @@ pub fn generate(params: TrajectoryParams) -> TrajectoryData {
     }
 
     let mapper = TrajectoryMapper::fitting(params.hilbert_order, &points)
+        // gv-lint: allow(no-unwrap-in-lib) the synthetic generator always emits >= 2 distinct points, so the bounding box cannot degenerate
         .expect("commute track always spans a non-degenerate box");
     let series = mapper.transform(&points);
     let mut series = series;

@@ -9,43 +9,28 @@
 //! single-threaded case and is the *only* counting path — its accessors
 //! read the recorder rather than keeping parallel tallies.
 
-use gv_obs::{Counter, Event, EventKind, LocalRecorder, Metric, Recorder};
-use std::time::Instant;
-
-/// Starts a per-call timer only when the recorder asks for decision-level
-/// detail: `Recorder::detailed()` is a compile-time `false` on
-/// `NoopRecorder`, so the uninstrumented kernels never read the clock.
-#[inline]
-fn detail_timer<R: Recorder>(recorder: &R) -> Option<Instant> {
-    if recorder.detailed() {
-        Some(Instant::now())
-    } else {
-        None
-    }
-}
-
-#[inline]
-fn finish_timer<R: Recorder>(recorder: &R, started: Option<Instant>) {
-    if let Some(t0) = started {
-        recorder.record_value(Metric::DistanceNanos, t0.elapsed().as_nanos() as u64);
-    }
-}
+use gv_obs::{Counter, DetailTimer, Event, EventKind, LocalRecorder, Metric, Recorder};
 
 /// Full Euclidean distance between equal-length slices, counted as one
 /// distance call on `recorder`.
 ///
+/// Per-call timing gates on `Recorder::detailed()` via [`DetailTimer`]
+/// (a compile-time `false` on `NoopRecorder`), so the uninstrumented
+/// kernel never reads the clock.
+///
 /// # Panics
 /// Panics on length mismatch.
+// gv-lint: hot
 pub fn euclidean<R: Recorder>(recorder: &R, a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
     recorder.incr(Counter::DistanceCalls);
-    let started = detail_timer(recorder);
+    let timer = DetailTimer::start(recorder, Metric::DistanceNanos);
     let mut sum = 0.0;
     for (&x, &y) in a.iter().zip(b) {
         let d = x - y;
         sum += d * d;
     }
-    finish_timer(recorder, started);
+    timer.finish(recorder);
     sum.sqrt()
 }
 
@@ -66,7 +51,7 @@ pub fn euclidean_early<R: Recorder>(
 ) -> Option<f64> {
     assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
     recorder.incr(Counter::DistanceCalls);
-    let started = detail_timer(recorder);
+    let timer = DetailTimer::start(recorder, Metric::DistanceNanos);
     let limit_sq = if abandon_at.is_finite() {
         abandon_at * abandon_at
     } else {
@@ -86,8 +71,10 @@ pub fn euclidean_early<R: Recorder>(
         }
         if sum >= limit_sq {
             recorder.incr(Counter::EarlyAbandons);
-            if started.is_some() {
-                finish_timer(recorder, started);
+            // The timer carries the `detailed()` gate: abandon detail is
+            // emitted only when someone is listening.
+            if timer.armed() {
+                timer.finish(recorder);
                 recorder.record_value(Metric::AbandonPos, i as u64);
                 recorder.record_event(Event {
                     position: i as u64,
@@ -99,7 +86,7 @@ pub fn euclidean_early<R: Recorder>(
             return None;
         }
     }
-    finish_timer(recorder, started);
+    timer.finish(recorder);
     Some(sum.sqrt())
 }
 
@@ -126,6 +113,7 @@ pub fn normalized_euclidean_early<R: Recorder>(
     };
     euclidean_early(recorder, a, b, raw_limit).map(|d| d / len)
 }
+// gv-lint: end-hot
 
 /// A distance-call meter: a [`LocalRecorder`] dressed up with the kernel
 /// methods, for searches that own their counting.

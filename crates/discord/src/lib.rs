@@ -26,6 +26,9 @@
 //! assert!(stats.distance_calls > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod brute;
 pub mod distance;
 mod error;

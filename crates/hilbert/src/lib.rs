@@ -24,6 +24,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod curve;
 mod trajectory;
 

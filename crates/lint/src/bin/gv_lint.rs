@@ -1,0 +1,50 @@
+//! The CI lint gate: lints the workspace, prints the report with its
+//! per-rule tally, and exits non-zero on any violation.
+//!
+//! ```text
+//! gv_lint [--root PATH]
+//! ```
+//!
+//! With no `--root`, walks upward from the current directory to the first
+//! `Cargo.toml` declaring `[workspace]` — so it runs identically from the
+//! repo root, a crate directory, or a CI checkout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match parse_root(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("gv_lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match gv_lint::run(&root) {
+        Ok(report) => {
+            print!("{}", gv_lint::report::render(&report));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gv_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            gv_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root above current directory".to_string())
+        }
+        [flag, path] if flag == "--root" => Ok(PathBuf::from(path)),
+        _ => Err("usage: gv_lint [--root PATH]".to_string()),
+    }
+}

@@ -1,0 +1,554 @@
+//! A hand-rolled Rust lexer: comments-, strings-, and attribute-aware.
+//!
+//! This is *not* a full Rust grammar — it tokenizes just precisely enough
+//! for lexical lint rules to reason about real code without being fooled
+//! by string literals, comments, raw strings, char-vs-lifetime ambiguity,
+//! or float literals. Anything the rules don't need (operator precedence,
+//! generics disambiguation) is deliberately out of scope; the rule layer
+//! works on the token stream plus brace structure.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-char operators the rules care about
+    /// (`::`, `==`, `!=`, `..`, `->`, `=>`, `<=`, `>=`) are single tokens.
+    Punct,
+}
+
+/// One lexed token with its byte span and 1-based source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column (in bytes) of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A comment (line or block), kept out of the token stream but preserved
+/// for directive parsing (`// gv-lint: …`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the comment's last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Comment {
+    /// The comment's source text, delimiters included.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens, in source order, comments excluded.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (line `i` is entry `i-1`).
+    pub line_starts: Vec<usize>,
+}
+
+impl LexOutput {
+    /// Maps a byte offset to a 1-based `(line, col)` pair.
+    pub fn position(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let col = offset - self.line_starts[line] + 1;
+        (line as u32 + 1, col as u32)
+    }
+}
+
+/// Two-character operators lexed as single [`TokenKind::Punct`] tokens.
+/// Order matters only for readability; all entries are length 2.
+const TWO_CHAR_OPS: &[&str] = &["::", "==", "!=", "<=", ">=", "..", "->", "=>", "&&", "||"];
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer never fails: malformed input (unterminated strings, stray
+/// bytes) degrades to best-effort tokens so the linter can still report
+/// on the rest of the file.
+pub fn lex(src: &str) -> LexOutput {
+    let bytes = src.as_bytes();
+    let mut out = LexOutput {
+        line_starts: vec![0],
+        ..LexOutput::default()
+    };
+    // Pre-compute line starts so token positions are O(log n) lookups.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out.line_starts.push(i + 1);
+        }
+    }
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                push_comment(&mut out, src, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push_comment(&mut out, src, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i + 1);
+                push_token(&mut out, TokenKind::Str, start, i);
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start = i;
+                i = skip_prefixed_literal(bytes, i, &mut out);
+                // skip_prefixed_literal pushes the token itself only when
+                // it actually consumed a literal; if it fell back, `i`
+                // still advanced past an ident.
+                let _ = start;
+            }
+            b'\'' => {
+                let start = i;
+                let (kind, next) = skip_char_or_lifetime(bytes, i);
+                i = next;
+                push_token(&mut out, kind, start, i);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (kind, next) = skip_number(bytes, i);
+                i = next;
+                push_token(&mut out, kind, start, i);
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push_token(&mut out, TokenKind::Ident, start, i);
+            }
+            _ => {
+                let start = i;
+                let two = src.get(i..i + 2);
+                if let Some(op) = two {
+                    if TWO_CHAR_OPS.contains(&op) {
+                        i += 2;
+                        push_token(&mut out, TokenKind::Punct, start, i);
+                        continue;
+                    }
+                }
+                // Any other byte (including multi-byte UTF-8 sequence
+                // starts) becomes a one-char punct; advance by the full
+                // char so we never split a code point.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                i += ch_len;
+                push_token(&mut out, TokenKind::Punct, start, i);
+            }
+        }
+    }
+    out
+}
+
+fn push_token(out: &mut LexOutput, kind: TokenKind, start: usize, end: usize) {
+    let (line, col) = out.position(start);
+    out.tokens.push(Token {
+        kind,
+        start,
+        end,
+        line,
+        col,
+    });
+}
+
+fn push_comment(out: &mut LexOutput, _src: &str, start: usize, end: usize) {
+    let (line, col) = out.position(start);
+    out.comments.push(Comment {
+        start,
+        end,
+        line,
+        col,
+    });
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does `r…` / `b…` at `i` begin a raw string, byte string, byte char, or
+/// raw identifier (anything that needs special handling vs a plain ident)?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')),
+        _ => false,
+    }
+}
+
+/// Consumes an `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, or `r#ident`
+/// starting at `i`; pushes the appropriate token and returns the next
+/// offset. Falls back to a plain identifier when the prefix turns out not
+/// to introduce a literal (e.g. `r#match`).
+fn skip_prefixed_literal(bytes: &[u8], i: usize, out: &mut LexOutput) -> usize {
+    let start = i;
+    let mut j = i + 1; // past the 'r' or 'b'
+    if bytes[start] == b'b' {
+        match bytes.get(j) {
+            Some(b'\'') => {
+                let (_, next) = skip_char_or_lifetime(bytes, j);
+                push_token(out, TokenKind::Char, start, next);
+                return next;
+            }
+            Some(b'"') => {
+                let next = skip_string(bytes, j + 1);
+                push_token(out, TokenKind::Str, start, next);
+                return next;
+            }
+            Some(b'r') => j += 1, // `br…` falls through to raw handling
+            _ => {}
+        }
+    }
+    // Raw form: zero or more '#' then '"' — or a raw identifier `r#ident`.
+    let hashes_start = j;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    let hashes = j - hashes_start;
+    if bytes.get(j) == Some(&b'"') {
+        j += 1;
+        // Scan for closing quote followed by the same number of hashes.
+        'outer: while j < bytes.len() {
+            if bytes[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while seen < hashes && bytes.get(k) == Some(&b'#') {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    j = k;
+                    break 'outer;
+                }
+            }
+            j += 1;
+        }
+        push_token(out, TokenKind::Str, start, j);
+        return j;
+    }
+    // `r#ident` raw identifier, or a plain ident beginning with r/b.
+    let mut k = if hashes > 0 { j } else { start };
+    while k < bytes.len() && is_ident_continue(bytes[k]) {
+        k += 1;
+    }
+    let end = k.max(start + 1);
+    push_token(out, TokenKind::Ident, start, end);
+    end
+}
+
+/// Consumes a double-quoted string body starting just *after* the opening
+/// quote; returns the offset one past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes a char literal (`'x'`, `'\n'`) from a lifetime (`'a`)
+/// starting at the `'` and consumes it.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return (TokenKind::Punct, j);
+    }
+    if bytes[j] == b'\\' {
+        // Escaped char literal: consume escape then to closing quote.
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (TokenKind::Char, (j + 1).min(bytes.len()));
+    }
+    if is_ident_start(bytes[j]) {
+        // Could be 'a' (char) or 'a (lifetime): lifetime unless a quote
+        // immediately follows a single ident char.
+        let mut k = j;
+        while k < bytes.len() && is_ident_continue(bytes[k]) {
+            k += 1;
+        }
+        if bytes.get(k) == Some(&b'\'') && k == j + 1 {
+            return (TokenKind::Char, k + 1);
+        }
+        return (TokenKind::Lifetime, k);
+    }
+    // Non-ident char literal like '.' or '▁' (any code point).
+    j += utf8_len(bytes[j]);
+    if bytes.get(j) == Some(&b'\'') {
+        return (TokenKind::Char, j + 1);
+    }
+    (TokenKind::Char, j)
+}
+
+/// Consumes a numeric literal starting at a digit; classifies int vs float.
+fn skip_number(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    let mut j = i;
+    let mut float = false;
+    if bytes[j] == b'0' && matches!(bytes.get(j + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (TokenKind::Int, j);
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: `1.5`, `1.` — but not `1..2` (range) and not a
+    // method call on a literal (`1.max(2)`).
+    if bytes.get(j) == Some(&b'.') && bytes.get(j + 1) != Some(&b'.') {
+        let after = bytes.get(j + 1).copied();
+        if after.is_none_or(|b| b.is_ascii_digit()) {
+            float = true;
+            j += 1;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        } else if !after.is_some_and(is_ident_start) {
+            float = true;
+            j += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(j), Some(b'e') | Some(b'E')) {
+        let mut k = j + 1;
+        if matches!(bytes.get(k), Some(b'+') | Some(b'-')) {
+            k += 1;
+        }
+        if bytes.get(k).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: `1f64` / `2.5f32` are floats; `7u32` stays an int.
+    if bytes.get(j).copied().is_some_and(is_ident_start) {
+        let suffix_start = j;
+        while j < bytes.len() && is_ident_continue(bytes[j]) {
+            j += 1;
+        }
+        let suffix = &bytes[suffix_start..j];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+    }
+    (
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let got = kinds("fn main() { x.unwrap(); }");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "main", "(", ")", "{", "x", ".", "unwrap", "(", ")", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_separated() {
+        let out = lex("a // trailing\n/* block\nspanning */ b");
+        let tok_texts: Vec<&str> = out
+            .tokens
+            .iter()
+            .map(|t| t.text("a // trailing\n/* block\nspanning */ b"))
+            .collect();
+        assert_eq!(tok_texts, vec!["a", "b"]);
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "unwrap() // not a comment"; t"#;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        let out = lex(src);
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let s = r#"has "quotes" inside"#; let r#match = 1;"##;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quotes")));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let got = kinds("let c = 'x'; fn f<'a>(v: &'a str) { let n = '\\n'; }");
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+        assert_eq!(
+            got.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("2e-3", TokenKind::Float),
+            ("1f64", TokenKind::Float),
+            ("2.5f32", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("0xFF", TokenKind::Int),
+            ("1_000u64", TokenKind::Int),
+        ] {
+            let out = lex(src);
+            assert_eq!(out.tokens.len(), 1, "{src}");
+            assert_eq!(out.tokens[0].kind, kind, "{src}");
+        }
+        // Ranges don't produce floats.
+        let got = kinds("0..10");
+        assert_eq!(got[0].0, TokenKind::Int);
+        assert_eq!(got[1].1, "..");
+        assert_eq!(got[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let got = kinds("a == b != c :: d");
+        let puncts: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still */ x");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.tokens.len(), 1);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let got = kinds(r#"let a = b"bytes"; let c = b'\n';"#);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("b\"")));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t.starts_with("b'")));
+    }
+}

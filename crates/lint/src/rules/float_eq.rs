@@ -1,0 +1,101 @@
+//! `no-float-eq`: exact float comparison hides rounding bugs.
+//!
+//! The parallel RRA contract (PR 3) is *bit-identity* across thread
+//! counts — but that is proven by dedicated tests comparing whole ranked
+//! reports, not by sprinkling `==` over `f64`s in library code, where an
+//! exact comparison is usually an accident (and `NaN != NaN` makes it a
+//! trap). Comparisons against float literals or `f64::` constants in
+//! non-test library code must use `total_cmp`, an epsilon, or carry an
+//! allow-directive arguing why exactness is intended.
+//!
+//! The check is lexical: it fires when either operand of `==`/`!=` is a
+//! float literal or an `f32`/`f64` associated constant. Float-typed
+//! variables compared to each other are out of scope (no type inference
+//! in a lexer) — the differential tests in gv-check cover those paths.
+
+use super::{violation_at, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+use crate::violation::{LintViolation, RuleId};
+
+/// Associated constants of `f32`/`f64` treated as float operands.
+const FLOAT_CONSTS: &[&str] = &[
+    "INFINITY",
+    "NEG_INFINITY",
+    "NAN",
+    "EPSILON",
+    "MIN_POSITIVE",
+    "MAX",
+    "MIN",
+];
+
+/// See module docs.
+pub struct NoFloatEq;
+
+impl Rule for NoFloatEq {
+    fn id(&self) -> RuleId {
+        RuleId::NoFloatEq
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>) {
+        if file.kind != FileKind::LibSrc {
+            return;
+        }
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            let t = tokens[i];
+            if t.kind != TokenKind::Punct || file.is_test_line(t.line) {
+                continue;
+            }
+            let op = file.tok_text(i);
+            if op != "==" && op != "!=" {
+                continue;
+            }
+            let left = i > 0 && float_operand_ending_at(file, i - 1);
+            let right = i + 1 < tokens.len() && float_operand_starting_at(file, i + 1);
+            if left || right {
+                out.push(violation_at(
+                    file,
+                    self.id(),
+                    i,
+                    format!(
+                        "`{op}` against a float operand — use `total_cmp`, an epsilon, \
+                         or allow with a reason why exact equality is intended"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Does the expression ending at token `i` look like a float operand?
+fn float_operand_ending_at(file: &SourceFile, i: usize) -> bool {
+    let tokens = file.tokens();
+    if tokens[i].kind == TokenKind::Float {
+        return true;
+    }
+    // `f64::INFINITY` read backwards: CONST, `::`, f64|f32.
+    tokens[i].kind == TokenKind::Ident
+        && FLOAT_CONSTS.contains(&file.tok_text(i))
+        && i >= 2
+        && file.tok_text(i - 1) == "::"
+        && matches!(file.tok_text(i - 2), "f32" | "f64")
+}
+
+/// Does the expression starting at token `i` look like a float operand?
+fn float_operand_starting_at(file: &SourceFile, i: usize) -> bool {
+    let tokens = file.tokens();
+    match tokens[i].kind {
+        TokenKind::Float => true,
+        // Unary minus before a float literal.
+        TokenKind::Punct if file.tok_text(i) == "-" => {
+            i + 1 < tokens.len() && tokens[i + 1].kind == TokenKind::Float
+        }
+        TokenKind::Ident if matches!(file.tok_text(i), "f32" | "f64") => {
+            i + 2 < tokens.len()
+                && file.tok_text(i + 1) == "::"
+                && FLOAT_CONSTS.contains(&file.tok_text(i + 2))
+        }
+        _ => false,
+    }
+}

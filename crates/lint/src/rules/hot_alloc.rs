@@ -1,0 +1,80 @@
+//! `no-alloc-in-hot-path`: declared hot regions stay allocation-free.
+//!
+//! PR 3 made the steady state allocation-free (reusable `Workspace`
+//! buffers, `capacity_signature()` frozen after warmup); the paper's
+//! linear-time claim (§5) depends on the distance kernel and the RRA
+//! inner loop not hitting the allocator per candidate. Code between
+//! `// gv-lint: hot` and `// gv-lint: end-hot` markers must not allocate:
+//! no fresh `Vec`/`Box`/`String`, no `clone`/`to_vec`/`collect`.
+//! (`Vec::resize` on a pre-grown buffer is the blessed pattern and is
+//! deliberately not flagged.)
+
+use super::{is_macro, is_method_call, is_path_call, violation_at, Rule};
+use crate::source::SourceFile;
+use crate::violation::{LintViolation, RuleId};
+
+/// Method calls that allocate.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_string", "to_owned"];
+/// `Type::constructor` pairs that allocate.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// See module docs.
+pub struct NoAllocInHotPath;
+
+impl Rule for NoAllocInHotPath {
+    fn id(&self) -> RuleId {
+        RuleId::NoAllocInHotPath
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>) {
+        if file.hot_ranges.is_empty() {
+            return;
+        }
+        for i in 0..file.tokens().len() {
+            let line = file.tokens()[i].line;
+            if !file.is_hot_line(line) {
+                continue;
+            }
+            for name in ALLOC_METHODS {
+                if is_method_call(file, i, name) {
+                    out.push(violation_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!("`.{name}()` allocates inside a `gv-lint: hot` region"),
+                    ));
+                }
+            }
+            for (head, name) in ALLOC_PATHS {
+                if is_path_call(file, i, head, name) {
+                    out.push(violation_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!("`{head}::{name}` allocates inside a `gv-lint: hot` region"),
+                    ));
+                }
+            }
+            for name in ALLOC_MACROS {
+                if is_macro(file, i, name) {
+                    out.push(violation_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!("`{name}!` allocates inside a `gv-lint: hot` region"),
+                    ));
+                }
+            }
+        }
+    }
+}

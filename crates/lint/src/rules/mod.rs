@@ -1,0 +1,124 @@
+//! The rule registry and the applicability tables shared across rules.
+//!
+//! Each rule is one file, one struct, one [`Rule`] impl. Rules are purely
+//! lexical: they see the analyzed [`SourceFile`] (tokens, regions) and
+//! push [`LintViolation`]s; allow-directives and baselines are applied by
+//! the engine afterwards, so rules never need to know about suppression.
+
+use crate::source::SourceFile;
+use crate::violation::LintViolation;
+
+mod float_eq;
+mod forbid_unsafe;
+mod hot_alloc;
+mod nondeterminism;
+mod recorder_gate;
+mod schema_const;
+mod unwrap_in_lib;
+mod wall_clock;
+
+pub use float_eq::NoFloatEq;
+pub use forbid_unsafe::ForbidUnsafe;
+pub use hot_alloc::NoAllocInHotPath;
+pub use nondeterminism::NoNondeterminism;
+pub use recorder_gate::RecorderGate;
+pub use schema_const::JsonlSchemaConst;
+pub use unwrap_in_lib::NoUnwrapInLib;
+pub use wall_clock::NoWallClockOutsideObs;
+
+/// A single lint rule.
+pub trait Rule {
+    /// The rule's id (stable, kebab-case via `RuleId::as_str`).
+    fn id(&self) -> crate::violation::RuleId;
+    /// Checks one file, pushing findings into `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>);
+}
+
+/// Every active rule, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrapInLib),
+        Box::new(NoWallClockOutsideObs),
+        Box::new(NoAllocInHotPath),
+        Box::new(NoFloatEq),
+        Box::new(NoNondeterminism),
+        Box::new(RecorderGate),
+        Box::new(JsonlSchemaConst),
+        Box::new(ForbidUnsafe),
+    ]
+}
+
+/// Library crates whose non-test code must not panic (`no-unwrap-in-lib`).
+/// The CLI and bench crates are binaries — they may abort on bad input.
+pub const LIB_CRATES: &[&str] = &[
+    "timeseries",
+    "sax",
+    "sequitur",
+    "hilbert",
+    "datasets",
+    "discord",
+    "core",
+    "obs",
+    "check",
+    "lint",
+    "grammarviz",
+];
+
+/// Crates whose outputs feed user-visible results — anomaly reports,
+/// grammars, invariants — and must therefore be iteration-order
+/// deterministic (`no-nondeterminism`).
+pub const RESULT_CRATES: &[&str] = &[
+    "sax",
+    "sequitur",
+    "discord",
+    "core",
+    "check",
+    "lint",
+    "grammarviz",
+];
+
+/// Crates that may read the wall clock (`no-wall-clock-outside-obs`):
+/// the obs layer owns timing, bench binaries measure it.
+pub const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// Emits one violation at token index `i` of `file`.
+pub(crate) fn violation_at(
+    file: &SourceFile,
+    rule: crate::violation::RuleId,
+    i: usize,
+    message: String,
+) -> LintViolation {
+    let t = file.tokens()[i];
+    LintViolation {
+        rule,
+        file: file.rel_path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// Is token `i` a method-call receiver position: `.` `name` `(`?
+pub(crate) fn is_method_call(file: &SourceFile, i: usize, name: &str) -> bool {
+    let tokens = file.tokens();
+    file.tok_text(i) == name
+        && i > 0
+        && file.tok_text(i - 1) == "."
+        && i + 1 < tokens.len()
+        && matches!(file.tok_text(i + 1), "(" | "::")
+}
+
+/// Is token `i` the head of a path call `Head::name`?
+pub(crate) fn is_path_call(file: &SourceFile, i: usize, head: &str, name: &str) -> bool {
+    let tokens = file.tokens();
+    file.tok_text(i) == head
+        && i + 2 < tokens.len()
+        && file.tok_text(i + 1) == "::"
+        && file.tok_text(i + 2) == name
+}
+
+/// Is token `i` a macro invocation `name!`?
+pub(crate) fn is_macro(file: &SourceFile, i: usize, name: &str) -> bool {
+    let tokens = file.tokens();
+    file.tok_text(i) == name && i + 1 < tokens.len() && file.tok_text(i + 1) == "!"
+}

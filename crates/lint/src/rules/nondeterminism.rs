@@ -1,0 +1,67 @@
+//! `no-nondeterminism`: result-producing code keeps a fixed order.
+//!
+//! Ranked discords must be reproducible run-to-run and bit-identical
+//! across thread counts (PR 3); the EXPERIMENTS.md numbers are regenerated
+//! under a *seeded* vendored RNG (PR 1). Both properties die quietly the
+//! moment a result path iterates a `HashMap`/`HashSet` (randomized seed →
+//! randomized order) or draws from an ambient-entropy RNG. Result crates
+//! must use `BTreeMap`/`BTreeSet`, sort before draining, or carry an
+//! allow-directive stating why the container's order can never reach an
+//! output (e.g. lookup-only indexes).
+
+use super::{violation_at, Rule, RESULT_CRATES};
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+use crate::violation::{LintViolation, RuleId};
+
+/// Idents whose presence in result-producing code needs justification.
+const SUSPECT_IDENTS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is seed-randomized; use BTreeMap or prove lookup-only",
+    ),
+    (
+        "HashSet",
+        "iteration order is seed-randomized; use BTreeSet or prove lookup-only",
+    ),
+    ("RandomState", "ambient hasher seeding is nondeterministic"),
+    (
+        "thread_rng",
+        "ambient entropy breaks seeded reproducibility; use a seeded StdRng",
+    ),
+    (
+        "from_entropy",
+        "ambient entropy breaks seeded reproducibility; use seed_from_u64",
+    ),
+];
+
+/// See module docs.
+pub struct NoNondeterminism;
+
+impl Rule for NoNondeterminism {
+    fn id(&self) -> RuleId {
+        RuleId::NoNondeterminism
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>) {
+        if file.kind != FileKind::LibSrc || !RESULT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for (i, t) in file.tokens().iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.is_test_line(t.line) {
+                continue;
+            }
+            let text = file.tok_text(i);
+            for (name, why) in SUSPECT_IDENTS {
+                if text == *name {
+                    out.push(violation_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!("`{name}` in a result-producing crate — {why}"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `jsonl-schema-const`: one schema number, one constant.
+//!
+//! PR 2 bumped the JSONL schema to 2 by editing `gv_obs::SCHEMA_VERSION`
+//! — and every writer (trace, events, explain, streaming snapshots) picks
+//! the bump up because they all reference the constant. A writer that
+//! hardcodes `"schema":2` in its template silently forks the version at
+//! the next bump and `validate_jsonl` starts rejecting half the output.
+//! Test assertions on *rendered* output are exempt — they pin bytes on
+//! purpose.
+
+use super::Rule;
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+use crate::violation::{LintViolation, RuleId};
+
+/// How many following tokens to scan for `SCHEMA_VERSION` when the
+/// template uses a positional `{}` placeholder — generous enough to span
+/// a multi-argument `write!`, small enough not to cross functions.
+const PLACEHOLDER_LOOKAHEAD: usize = 40;
+
+/// See module docs.
+pub struct JsonlSchemaConst;
+
+impl Rule for JsonlSchemaConst {
+    fn id(&self) -> RuleId {
+        RuleId::JsonlSchemaConst
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>) {
+        if matches!(file.kind, FileKind::TestSrc | FileKind::Example) {
+            return;
+        }
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            let t = tokens[i];
+            if t.kind != TokenKind::Str || file.is_test_line(t.line) {
+                continue;
+            }
+            let lit = file.tok_text(i);
+            // A JSON template writes the key as `\"schema\":` in a normal
+            // string or `"schema":` in a raw string.
+            let key_end = ["\\\"schema\\\":", "\"schema\":"]
+                .iter()
+                .find_map(|pat| lit.find(pat).map(|at| at + pat.len()));
+            let Some(after) = key_end else { continue };
+            let rest = &lit[after..];
+            if rest.starts_with(|c: char| c.is_ascii_digit()) {
+                out.push(LintViolation {
+                    rule: self.id(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "hardcoded JSONL schema number — reference \
+                              `gv_obs::SCHEMA_VERSION` instead"
+                        .to_string(),
+                });
+            } else if rest.starts_with('{') {
+                // Inline capture `{SCHEMA_VERSION}` satisfies the rule
+                // from within the literal itself.
+                if rest.starts_with("{SCHEMA_VERSION}") {
+                    continue;
+                }
+                // Positional `{}`: the constant must appear among the
+                // format arguments that follow.
+                let end = (i + 1 + PLACEHOLDER_LOOKAHEAD).min(tokens.len());
+                let found = (i + 1..end).any(|k| file.tok_text(k) == "SCHEMA_VERSION");
+                if !found {
+                    out.push(LintViolation {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: "JSONL schema placeholder not fed from \
+                                  `SCHEMA_VERSION` — the version must come from \
+                                  the single constant"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `no-unwrap-in-lib`: library code must not panic on recoverable paths.
+//!
+//! PR 4 pushed typed errors (`Error::NonFiniteInput`, `InvalidParameter`)
+//! to every public entry point; a stray `unwrap()` in a library crate
+//! re-opens the panic path this work closed. Test code is exempt —
+//! panicking is how tests fail.
+
+use super::{is_macro, is_method_call, violation_at, Rule, LIB_CRATES};
+use crate::source::{FileKind, SourceFile};
+use crate::violation::{LintViolation, RuleId};
+
+/// See module docs.
+pub struct NoUnwrapInLib;
+
+impl Rule for NoUnwrapInLib {
+    fn id(&self) -> RuleId {
+        RuleId::NoUnwrapInLib
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>) {
+        if file.kind != FileKind::LibSrc || !LIB_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for i in 0..file.tokens().len() {
+            let line = file.tokens()[i].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            for name in ["unwrap", "expect"] {
+                if is_method_call(file, i, name) {
+                    out.push(violation_at(
+                        file,
+                        self.id(),
+                        i,
+                        format!(
+                            "`.{name}()` in library code — return a typed error \
+                             (or allow with a written infallibility argument)"
+                        ),
+                    ));
+                }
+            }
+            if is_macro(file, i, "panic") {
+                out.push(violation_at(
+                    file,
+                    self.id(),
+                    i,
+                    "`panic!` in library code — return a typed error instead".to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Typed lint findings.
+
+use std::fmt;
+
+/// Every rule the engine knows, plus the meta rule for directive hygiene.
+///
+/// The string forms (used in `allow(...)` directives, the baseline file,
+/// and reports) are kebab-case — see [`RuleId::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No `unwrap()` / `expect()` / `panic!` in non-test library code.
+    NoUnwrapInLib,
+    /// `Instant` / `SystemTime` only in the obs crate and bench binaries.
+    NoWallClockOutsideObs,
+    /// No allocation inside `gv-lint: hot` regions.
+    NoAllocInHotPath,
+    /// No `==` / `!=` against float operands in non-test library code.
+    NoFloatEq,
+    /// No `HashMap`/`HashSet`/ambient RNG in result-producing crates.
+    NoNondeterminism,
+    /// Detailed-only recorder emits must sit behind the `detailed()` gate.
+    RecorderGate,
+    /// JSONL writers must reference `SCHEMA_VERSION`, never a literal.
+    JsonlSchemaConst,
+    /// Every crate root carries `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// Meta: malformed/unused `gv-lint:` directives and stale baselines.
+    LintDirective,
+}
+
+/// All checkable rules, in report order (excludes the meta rule — it is
+/// emitted by the engine itself, not run over files).
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::NoUnwrapInLib,
+    RuleId::NoWallClockOutsideObs,
+    RuleId::NoAllocInHotPath,
+    RuleId::NoFloatEq,
+    RuleId::NoNondeterminism,
+    RuleId::RecorderGate,
+    RuleId::JsonlSchemaConst,
+    RuleId::ForbidUnsafe,
+];
+
+impl RuleId {
+    /// The kebab-case rule id used in directives, baselines, and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::NoUnwrapInLib => "no-unwrap-in-lib",
+            RuleId::NoWallClockOutsideObs => "no-wall-clock-outside-obs",
+            RuleId::NoAllocInHotPath => "no-alloc-in-hot-path",
+            RuleId::NoFloatEq => "no-float-eq",
+            RuleId::NoNondeterminism => "no-nondeterminism",
+            RuleId::RecorderGate => "recorder-gate",
+            RuleId::JsonlSchemaConst => "jsonl-schema-const",
+            RuleId::ForbidUnsafe => "forbid-unsafe",
+            RuleId::LintDirective => "lint-directive",
+        }
+    }
+
+    /// Parses a kebab-case rule id.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .chain(std::iter::once(RuleId::LintDirective))
+            .find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a rule violated at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintViolation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (bytes).
+    pub col: u32,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::parse("lint-directive"), Some(RuleId::LintDirective));
+        assert_eq!(RuleId::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_includes_span_and_rule() {
+        let v = LintViolation {
+            rule: RuleId::NoUnwrapInLib,
+            file: "crates/core/src/rra.rs".into(),
+            line: 7,
+            col: 3,
+            message: "call to unwrap()".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "crates/core/src/rra.rs:7:3: [no-unwrap-in-lib] call to unwrap()"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Fixture corpus: every rule fires on its `bad.rs` and stays silent on
+//! its `good.rs`, with spans pinned where the rule's value is the exact
+//! location.
+
+use gv_lint::rules::all_rules;
+use gv_lint::{FileKind, RuleId, SourceFile};
+
+/// Runs the full rule set over one fixture, returning violations of
+/// `rule` only (fixtures are single-purpose, but a bad fixture for one
+/// rule may legitimately trip another — e.g. the hot-alloc fixture's
+/// `Vec` is fine outside a result crate but not inside one).
+fn check(rule: RuleId, rel: &str, krate: &str, kind: FileKind, src: &str) -> Vec<(u32, u32)> {
+    let file = SourceFile::analyze(rel, krate, kind, src.to_string());
+    let mut out = Vec::new();
+    for r in all_rules() {
+        r.check(&file, &mut out);
+    }
+    out.iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.line, v.col))
+        .collect()
+}
+
+/// One bad/good pair: `bad.rs` fires `expected_bad` times, `good.rs` not
+/// at all, under the same classification.
+fn fires_and_silences(
+    rule: RuleId,
+    rel: &str,
+    krate: &str,
+    kind: FileKind,
+    bad: &str,
+    good: &str,
+    expected_bad: usize,
+) {
+    let bad_spans = check(rule, rel, krate, kind, bad);
+    assert_eq!(
+        bad_spans.len(),
+        expected_bad,
+        "{}: bad fixture should fire {expected_bad}x, got {bad_spans:?}",
+        rule.as_str()
+    );
+    let good_spans = check(rule, rel, krate, kind, good);
+    assert!(
+        good_spans.is_empty(),
+        "{}: good fixture should be silent, got {good_spans:?}",
+        rule.as_str()
+    );
+}
+
+#[test]
+fn no_unwrap_in_lib_fixture() {
+    fires_and_silences(
+        RuleId::NoUnwrapInLib,
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/unwrap/bad.rs"),
+        include_str!("fixtures/unwrap/good.rs"),
+        1,
+    );
+}
+
+#[test]
+fn unwrap_span_is_exact() {
+    // `    *values.first().unwrap()` — the violation anchors on the
+    // `unwrap` ident itself: line 5, column 21.
+    let spans = check(
+        RuleId::NoUnwrapInLib,
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/unwrap/bad.rs"),
+    );
+    assert_eq!(spans, vec![(5, 21)]);
+}
+
+#[test]
+fn no_wall_clock_fixture() {
+    // Two `Instant` idents: the import and the `now()` call.
+    fires_and_silences(
+        RuleId::NoWallClockOutsideObs,
+        "crates/discord/src/fixture.rs",
+        "discord",
+        FileKind::LibSrc,
+        include_str!("fixtures/wall_clock/bad.rs"),
+        include_str!("fixtures/wall_clock/good.rs"),
+        2,
+    );
+}
+
+#[test]
+fn wall_clock_exempts_the_clock_crates() {
+    let bad = include_str!("fixtures/wall_clock/bad.rs");
+    for (rel, krate, kind) in [
+        ("crates/obs/src/fixture.rs", "obs", FileKind::LibSrc),
+        (
+            "crates/bench/src/bin/fixture.rs",
+            "bench",
+            FileKind::BenchSrc,
+        ),
+    ] {
+        let spans = check(RuleId::NoWallClockOutsideObs, rel, krate, kind, bad);
+        assert!(spans.is_empty(), "{krate} owns the clock, got {spans:?}");
+    }
+}
+
+#[test]
+fn no_alloc_in_hot_path_fixture() {
+    fires_and_silences(
+        RuleId::NoAllocInHotPath,
+        "crates/discord/src/fixture.rs",
+        "discord",
+        FileKind::LibSrc,
+        include_str!("fixtures/hot_alloc/bad.rs"),
+        include_str!("fixtures/hot_alloc/good.rs"),
+        1,
+    );
+}
+
+#[test]
+fn hot_alloc_span_lands_inside_the_region() {
+    let spans = check(
+        RuleId::NoAllocInHotPath,
+        "crates/discord/src/fixture.rs",
+        "discord",
+        FileKind::LibSrc,
+        include_str!("fixtures/hot_alloc/bad.rs"),
+    );
+    // `.collect()` on line 6 — between the `hot` marker (line 3) and
+    // `end-hot` (line 9).
+    assert_eq!(spans, vec![(6, 58)]);
+}
+
+#[test]
+fn no_float_eq_fixture() {
+    fires_and_silences(
+        RuleId::NoFloatEq,
+        "crates/sax/src/fixture.rs",
+        "sax",
+        FileKind::LibSrc,
+        include_str!("fixtures/float_eq/bad.rs"),
+        include_str!("fixtures/float_eq/good.rs"),
+        1,
+    );
+}
+
+#[test]
+fn float_eq_span_anchors_on_the_operator() {
+    let spans = check(
+        RuleId::NoFloatEq,
+        "crates/sax/src/fixture.rs",
+        "sax",
+        FileKind::LibSrc,
+        include_str!("fixtures/float_eq/bad.rs"),
+    );
+    // `    d == 0.0` — the `==` sits at line 5, column 7.
+    assert_eq!(spans, vec![(5, 7)]);
+}
+
+#[test]
+fn no_nondeterminism_fixture() {
+    // Three `HashMap` idents: the import, the annotation, the ctor.
+    fires_and_silences(
+        RuleId::NoNondeterminism,
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/nondeterminism/bad.rs"),
+        include_str!("fixtures/nondeterminism/good.rs"),
+        3,
+    );
+}
+
+#[test]
+fn nondeterminism_exempts_non_result_crates() {
+    let spans = check(
+        RuleId::NoNondeterminism,
+        "crates/datasets/src/fixture.rs",
+        "datasets",
+        FileKind::LibSrc,
+        include_str!("fixtures/nondeterminism/bad.rs"),
+    );
+    assert!(
+        spans.is_empty(),
+        "datasets is not a result crate: {spans:?}"
+    );
+}
+
+#[test]
+fn recorder_gate_fixture() {
+    fires_and_silences(
+        RuleId::RecorderGate,
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/recorder_gate/bad.rs"),
+        include_str!("fixtures/recorder_gate/good.rs"),
+        1,
+    );
+}
+
+#[test]
+fn jsonl_schema_const_fixture() {
+    fires_and_silences(
+        RuleId::JsonlSchemaConst,
+        "crates/core/src/fixture.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/schema_const/bad.rs"),
+        include_str!("fixtures/schema_const/good.rs"),
+        1,
+    );
+}
+
+#[test]
+fn forbid_unsafe_fixture() {
+    // Only fires when the file *is* a crate root.
+    fires_and_silences(
+        RuleId::ForbidUnsafe,
+        "crates/core/src/lib.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/forbid_unsafe/bad.rs"),
+        include_str!("fixtures/forbid_unsafe/good.rs"),
+        1,
+    );
+    let spans = check(
+        RuleId::ForbidUnsafe,
+        "crates/core/src/helper.rs",
+        "core",
+        FileKind::LibSrc,
+        include_str!("fixtures/forbid_unsafe/bad.rs"),
+    );
+    assert!(spans.is_empty(), "non-root files are exempt: {spans:?}");
+}

@@ -1,0 +1,6 @@
+//! Fixture: exact float comparison against a literal.
+
+/// Is the distance exactly zero?
+pub fn is_zero(d: f64) -> bool {
+    d == 0.0
+}

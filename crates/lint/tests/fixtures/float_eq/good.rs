@@ -1,0 +1,6 @@
+//! Fixture: ordering-based comparison, NaN-safe.
+
+/// Is the distance exactly zero?
+pub fn is_zero(d: f64) -> bool {
+    d.total_cmp(&0.0) == std::cmp::Ordering::Equal
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing the forbid attribute.
+
+/// A perfectly safe function in an unprotected crate.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+//! Fixture: the root locks unsafe out at compile time.
+#![forbid(unsafe_code)]
+
+/// A perfectly safe function in a protected crate.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! Fixture: allocation inside a declared hot region.
+
+// gv-lint: hot
+/// Sums squares with a needless intermediate allocation.
+pub fn sum_squares(values: &[f64]) -> f64 {
+    let squares: Vec<f64> = values.iter().map(|v| v * v).collect();
+    squares.iter().sum()
+}
+// gv-lint: end-hot

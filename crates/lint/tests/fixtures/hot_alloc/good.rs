@@ -1,0 +1,16 @@
+//! Fixture: the blessed pattern — resize a caller-owned scratch buffer.
+
+// gv-lint: hot
+/// Writes squares into a reused buffer; allocation-free once warm.
+pub fn squares_into(values: &[f64], out: &mut Vec<f64>) {
+    out.resize(values.len(), 0.0);
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = v * v;
+    }
+}
+// gv-lint: end-hot
+
+/// Outside the region, allocation is unrestricted.
+pub fn squares(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| v * v).collect()
+}

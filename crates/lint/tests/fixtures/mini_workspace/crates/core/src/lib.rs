@@ -1,0 +1,27 @@
+//! Mini fixture crate: one surviving violation, one inline allow, one
+//! unused allow, one baselined violation.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Survives: an unwrap with no allow.
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}
+
+/// Suppressed by the inline allow on the next line.
+pub fn second(values: &[f64]) -> f64 {
+    // gv-lint: allow(no-unwrap-in-lib) fixture: inline allow round-trip
+    *values.last().unwrap()
+}
+
+/// Carries an allow that excuses nothing.
+pub fn third() -> u32 {
+    // gv-lint: allow(no-float-eq) fixture: unused allow that must rot loudly
+    1 + 1
+}
+
+/// Uses the baselined clock type so the entry above stays live.
+pub fn fourth() -> Instant {
+    Instant::now()
+}

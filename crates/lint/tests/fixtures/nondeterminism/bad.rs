@@ -1,0 +1,12 @@
+//! Fixture: iterated hash container on a result path.
+
+use std::collections::HashMap;
+
+/// Counts occurrences — in seed-randomized order.
+pub fn counts(ids: &[u32]) -> Vec<(u32, usize)> {
+    let mut map: HashMap<u32, usize> = HashMap::new();
+    for id in ids {
+        *map.entry(*id).or_insert(0) += 1;
+    }
+    map.into_iter().collect()
+}

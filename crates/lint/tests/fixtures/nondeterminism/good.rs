@@ -1,0 +1,12 @@
+//! Fixture: ordered container keeps the output reproducible.
+
+use std::collections::BTreeMap;
+
+/// Counts occurrences — in key order, every run.
+pub fn counts(ids: &[u32]) -> Vec<(u32, usize)> {
+    let mut map: BTreeMap<u32, usize> = BTreeMap::new();
+    for id in ids {
+        *map.entry(*id).or_insert(0) += 1;
+    }
+    map.into_iter().collect()
+}

@@ -1,0 +1,11 @@
+//! Fixture: ungated decision-level emit.
+
+use gv_obs::{Event, EventKind, Recorder};
+
+/// Pays for event construction even when nobody is listening.
+pub fn emit<R: Recorder>(recorder: &R, position: u64) {
+    recorder.record_event(Event {
+        position,
+        ..Event::new(EventKind::Abandoned)
+    });
+}

@@ -1,0 +1,13 @@
+//! Fixture: the emit sits behind the `detailed()` gate.
+
+use gv_obs::{Event, EventKind, Recorder};
+
+/// Emits only when decision-level detail is wanted.
+pub fn emit<R: Recorder>(recorder: &R, position: u64) {
+    if recorder.detailed() {
+        recorder.record_event(Event {
+            position,
+            ..Event::new(EventKind::Abandoned)
+        });
+    }
+}

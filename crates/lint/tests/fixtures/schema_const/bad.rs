@@ -1,0 +1,10 @@
+//! Fixture: hardcoded schema number in a JSONL template.
+
+use std::fmt::Write;
+
+/// Renders a record with a silently forked schema version.
+pub fn render(label: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema\":2,\"label\":\"{label}\"}}");
+    out
+}

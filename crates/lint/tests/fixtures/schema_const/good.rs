@@ -1,0 +1,11 @@
+//! Fixture: the version always comes from the one constant.
+
+use gv_obs::SCHEMA_VERSION;
+use std::fmt::Write;
+
+/// Renders a record pinned to the shared schema constant.
+pub fn render(label: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema\":{SCHEMA_VERSION},\"label\":\"{label}\"}}");
+    out
+}

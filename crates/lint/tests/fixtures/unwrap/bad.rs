@@ -1,0 +1,6 @@
+//! Fixture: `.unwrap()` on a recoverable path in library code.
+
+/// Returns the first value.
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}

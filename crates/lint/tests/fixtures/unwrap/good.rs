@@ -1,0 +1,14 @@
+//! Fixture: typed fallibility instead of unwrap; tests may panic freely.
+
+/// Returns the first value, or `None` when empty.
+pub fn first(values: &[f64]) -> Option<f64> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[1.5]).unwrap(), 1.5);
+    }
+}

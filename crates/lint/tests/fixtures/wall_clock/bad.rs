@@ -1,0 +1,10 @@
+//! Fixture: raw clock read in a library crate.
+
+use std::time::Instant;
+
+/// Times one call the forbidden way.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,11 @@
+//! Fixture: timing flows through the obs layer's gate-carrying timers.
+
+use gv_obs::{Recorder, Stage, StageTimer};
+
+/// Times one call through the recorder.
+pub fn timed<R: Recorder, T>(recorder: &R, f: impl FnOnce() -> T) -> T {
+    let timer = StageTimer::start(recorder, Stage::Density);
+    let out = f();
+    timer.finish(recorder);
+    out
+}

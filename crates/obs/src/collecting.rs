@@ -6,7 +6,17 @@ use crate::recorder::Recorder;
 use crate::stage::{Counter, Metric, Stage};
 use crate::trace::PipelineTrace;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+///
+/// Every mutation under these locks is a single append or slot assign
+/// that leaves the structure valid, so a poisoned lock can only mean a
+/// panicking thread was mid-telemetry — the data itself is never torn
+/// and dropping it would lose real measurements.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// An atomics-backed recorder behind an `Arc`: `Clone` hands out another
 /// handle to the same tallies, so the parallel sweep's worker threads (and
@@ -61,17 +71,17 @@ impl CollectingRecorder {
 
     /// A clone of one metric's histogram.
     pub fn histogram(&self, metric: Metric) -> Histogram {
-        self.inner.histograms.lock().unwrap()[metric.index()].clone()
+        relock(&self.inner.histograms)[metric.index()].clone()
     }
 
     /// The recorded events as an owned vector, oldest first.
     pub fn events_vec(&self) -> Vec<Event> {
-        self.inner.events.lock().unwrap().to_vec()
+        relock(&self.inner.events).to_vec()
     }
 
     /// Total events recorded and events lost to ring overwrites.
     pub fn events_recorded_dropped(&self) -> (u64, u64) {
-        let ring = self.inner.events.lock().unwrap();
+        let ring = relock(&self.inner.events);
         (ring.recorded(), ring.dropped())
     }
 
@@ -83,15 +93,15 @@ impl CollectingRecorder {
         for s in &self.inner.stages {
             s.store(0, Ordering::Relaxed);
         }
-        for h in self.inner.histograms.lock().unwrap().iter_mut() {
+        for h in relock(&self.inner.histograms).iter_mut() {
             *h = Histogram::new();
         }
-        self.inner.events.lock().unwrap().clear();
+        relock(&self.inner.events).clear();
     }
 
     /// Snapshots the current state into a labelled [`PipelineTrace`].
     pub fn snapshot(&self, label: impl Into<String>) -> PipelineTrace {
-        let histograms = self.inner.histograms.lock().unwrap();
+        let histograms = relock(&self.inner.histograms);
         PipelineTrace {
             label: label.into(),
             params: Vec::new(),
@@ -125,17 +135,17 @@ impl Recorder for CollectingRecorder {
 
     #[inline]
     fn record_value(&self, metric: Metric, value: u64) {
-        self.inner.histograms.lock().unwrap()[metric.index()].record(value);
+        relock(&self.inner.histograms)[metric.index()].record(value);
     }
 
     #[inline]
     fn record_event(&self, event: Event) {
-        self.inner.events.lock().unwrap().push(event);
+        relock(&self.inner.events).push(event);
     }
 
     #[inline]
     fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
-        self.inner.histograms.lock().unwrap()[metric.index()].merge(histogram);
+        relock(&self.inner.histograms)[metric.index()].merge(histogram);
     }
 }
 

@@ -48,12 +48,16 @@
 //! [`Recorder::detailed`], which is `false` on [`NoopRecorder`], so the
 //! uninstrumented hot path still never reads the clock.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod collecting;
 mod event;
 mod histogram;
 mod local;
 mod recorder;
 mod stage;
+mod timer;
 mod trace;
 
 pub use collecting::CollectingRecorder;
@@ -62,4 +66,5 @@ pub use histogram::Histogram;
 pub use local::LocalRecorder;
 pub use recorder::{time_stage, NoopRecorder, Recorder};
 pub use stage::{Counter, Metric, Stage};
+pub use timer::{DetailTimer, StageTimer};
 pub use trace::{PipelineTrace, SCHEMA_VERSION};

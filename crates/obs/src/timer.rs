@@ -1,0 +1,154 @@
+//! Gate-carrying timers: the only way non-obs code reads the clock.
+//!
+//! [`time_stage`](crate::time_stage) covers the closure-shaped case; these
+//! two cover the other shapes found in the pipeline without exposing
+//! `Instant` to library crates (the `no-wall-clock-outside-obs` lint rule
+//! enforces that the type never appears outside this crate and the bench
+//! binaries):
+//!
+//! - [`StageTimer`] — an *open-ended* stage measurement: started at one
+//!   point, finished into a (possibly different) recorder later. The RRA
+//!   search uses it to time its outer/inner loops into the search-local
+//!   recorder while gating on the *caller's* sink.
+//! - [`DetailTimer`] — a *per-call* measurement gated on
+//!   [`Recorder::detailed`]: armed only when someone wants decision-level
+//!   histograms, so the distance kernel's uninstrumented path never reads
+//!   the clock.
+
+use crate::recorder::Recorder;
+use crate::stage::{Metric, Stage};
+use std::time::Instant;
+
+/// An in-flight stage measurement; finish with [`StageTimer::finish`].
+///
+/// Unarmed timers (disabled recorder) never touch the clock: both `start`
+/// and `finish` are no-ops, so the zero-overhead contract of PR 1 holds.
+#[derive(Debug)]
+#[must_use = "a started StageTimer should be finished into a recorder"]
+pub struct StageTimer {
+    stage: Stage,
+    started: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Starts timing `stage` if `recorder` is enabled.
+    #[inline]
+    pub fn start<R: Recorder>(recorder: &R, stage: Stage) -> Self {
+        Self::start_if(recorder.enabled(), stage)
+    }
+
+    /// Starts timing `stage` if `armed` — for call sites that cache the
+    /// gate (e.g. the RRA search reads `recorder.enabled()` once and
+    /// times many loop iterations against it).
+    #[inline]
+    pub fn start_if(armed: bool, stage: Stage) -> Self {
+        StageTimer {
+            stage,
+            started: armed.then(Instant::now),
+        }
+    }
+
+    /// Whether this timer is actually measuring.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Records the elapsed nanoseconds into `recorder` (accumulating on
+    /// the stage); a no-op when unarmed.
+    #[inline]
+    pub fn finish<R: Recorder>(self, recorder: &R) {
+        if let Some(t0) = self.started {
+            recorder.record_duration(self.stage, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A per-call value timer gated on [`Recorder::detailed`]; finish with
+/// [`DetailTimer::finish`] to record the elapsed nanoseconds into a
+/// value histogram.
+#[derive(Debug)]
+#[must_use = "a started DetailTimer should be finished into a recorder"]
+pub struct DetailTimer {
+    metric: Metric,
+    started: Option<Instant>,
+}
+
+impl DetailTimer {
+    /// Starts timing into `metric` if `recorder` wants decision-level
+    /// detail. `NoopRecorder::detailed()` is a compile-time `false`, so
+    /// uninstrumented kernels never read the clock.
+    #[inline]
+    pub fn start<R: Recorder>(recorder: &R, metric: Metric) -> Self {
+        DetailTimer {
+            metric,
+            started: recorder.detailed().then(Instant::now),
+        }
+    }
+
+    /// Whether this timer is actually measuring — callers use this as
+    /// the carried `detailed()` gate for emits grouped with the timing
+    /// (e.g. the abandon event in the early-abandoning distance kernel).
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Records one sample of elapsed nanoseconds into the metric's
+    /// histogram; a no-op when unarmed.
+    #[inline]
+    pub fn finish<R: Recorder>(self, recorder: &R) {
+        if let Some(t0) = self.started {
+            recorder.record_value(self.metric, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalRecorder, NoopRecorder};
+
+    #[test]
+    fn stage_timer_records_when_enabled() {
+        let rec = LocalRecorder::new();
+        let t = StageTimer::start(&rec, Stage::Density);
+        assert!(t.armed());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.finish(&rec);
+        assert!(rec.stage_nanos(Stage::Density) >= 500_000);
+    }
+
+    #[test]
+    fn stage_timer_noop_when_disabled() {
+        let t = StageTimer::start(&NoopRecorder, Stage::Density);
+        assert!(!t.armed());
+        t.finish(&NoopRecorder);
+    }
+
+    #[test]
+    fn stage_timer_can_finish_into_a_different_recorder() {
+        // The RRA pattern: gate on the caller's sink, record locally.
+        let gate = LocalRecorder::new();
+        let local = LocalRecorder::new();
+        let t = StageTimer::start_if(gate.enabled(), Stage::RraInner);
+        t.finish(&local);
+        assert!(local.stage_nanos(Stage::RraInner) > 0);
+        assert_eq!(gate.stage_nanos(Stage::RraInner), 0);
+    }
+
+    #[test]
+    fn detail_timer_gates_on_detailed() {
+        let full = LocalRecorder::new();
+        let t = DetailTimer::start(&full, Metric::DistanceNanos);
+        assert!(t.armed());
+        t.finish(&full);
+        assert_eq!(full.histogram(Metric::DistanceNanos).count(), 1);
+
+        let counters_only = LocalRecorder::counters_only();
+        let t = DetailTimer::start(&counters_only, Metric::DistanceNanos);
+        assert!(!t.armed());
+        t.finish(&counters_only);
+        assert!(counters_only.histogram(Metric::DistanceNanos).is_empty());
+    }
+}

@@ -204,7 +204,9 @@ impl SaxConfig {
             let mut words_dropped = 0u64;
             zbuf.resize(self.window, 0.0);
             pbuf.resize(self.paa_size, 0.0);
-            let windows = SlidingWindows::new(values, self.window).expect("window validated above");
+            let windows = SlidingWindows::new(values, self.window)
+                // gv-lint: allow(no-unwrap-in-lib) the same window/len pair was validated at function entry
+                .expect("window validated above");
             for (offset, win) in windows {
                 windows_processed += 1;
                 let word = self.word_for(win, zbuf, pbuf);

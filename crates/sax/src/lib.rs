@@ -28,6 +28,9 @@
 //! assert_eq!(records[0].offset, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod alphabet;
 mod dictionary;
 mod discretize;

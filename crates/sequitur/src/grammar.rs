@@ -1,7 +1,8 @@
 //! The immutable grammar produced by Sequitur, with expansion and
 //! occurrence mapping.
 
-use std::collections::HashMap;
+// gv-lint: allow(no-nondeterminism) HashMap is imported only for the lookup-only rule index
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -17,7 +18,7 @@ impl fmt::Display for RuleId {
 }
 
 /// A symbol on a rule's right-hand side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Symbol {
     /// A terminal token (a SAX word id in the anomaly pipeline).
     Terminal(u32),
@@ -108,6 +109,7 @@ pub struct Grammar {
     rules: Vec<GrammarRule>,
     /// id → dense index into `rules` (ids are dense post-`finish`, but keep
     /// the map so the representation tolerates sparse ids).
+    // gv-lint: allow(no-nondeterminism) lookup-only id->slot index; never iterated
     index: HashMap<RuleId, usize>,
     /// Memoized expansion length (in terminals) per rule, same order as
     /// `rules`.
@@ -125,6 +127,7 @@ impl Grammar {
     /// not a user error).
     pub fn from_rules(rules: Vec<GrammarRule>, input_len: usize) -> Self {
         assert!(!rules.is_empty(), "a grammar needs at least R0");
+        // gv-lint: allow(no-nondeterminism) populates the lookup-only index above
         let mut index = HashMap::with_capacity(rules.len());
         for (i, r) in rules.iter().enumerate() {
             let dup = index.insert(r.id, i);
@@ -217,6 +220,7 @@ impl Grammar {
         let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
         let mut cursor_stack: Vec<usize> = vec![0];
         while let Some((ri, pos)) = stack.pop() {
+            // gv-lint: allow(no-unwrap-in-lib) cursor_stack is pushed/popped in lockstep with stack; desync is a bug, not an input error
             let mut cursor = cursor_stack.pop().expect("cursor stack in sync");
             let rhs = &self.rules[ri].rhs;
             let mut p = pos;
@@ -251,8 +255,8 @@ impl Grammar {
     /// Occurrence counts per rule (index by [`RuleId`] via
     /// [`Grammar::rule`]'s id): how many times each rule's expansion occurs
     /// in the input. `R0` is reported as occurring once.
-    pub fn occurrence_counts(&self) -> HashMap<RuleId, usize> {
-        let mut counts: HashMap<RuleId, usize> = HashMap::with_capacity(self.rules.len());
+    pub fn occurrence_counts(&self) -> BTreeMap<RuleId, usize> {
+        let mut counts: BTreeMap<RuleId, usize> = BTreeMap::new();
         counts.insert(self.r0_id(), 1);
         for occ in self.occurrences() {
             *counts.entry(occ.rule).or_insert(0) += 1;
@@ -302,7 +306,7 @@ impl Grammar {
             });
         }
         // 2. Utility + recount.
-        let mut recount: HashMap<RuleId, usize> = HashMap::new();
+        let mut recount: BTreeMap<RuleId, usize> = BTreeMap::new();
         for r in &self.rules {
             for s in &r.rhs {
                 if let Symbol::Rule(id) = s {
@@ -338,7 +342,7 @@ impl Grammar {
             }
         }
         // 4. Digram uniqueness.
-        let mut seen: HashMap<(Symbol, Symbol), (RuleId, usize)> = HashMap::new();
+        let mut seen: BTreeMap<(Symbol, Symbol), (RuleId, usize)> = BTreeMap::new();
         for r in &self.rules {
             let mut i = 0;
             while i + 1 < r.rhs.len() {
@@ -408,6 +412,7 @@ impl Grammar {
                         let ci = *self
                             .index
                             .get(r)
+                            // gv-lint: allow(no-unwrap-in-lib) validate() exists to panic on malformed grammars; a dangling rule id is exactly what it reports
                             .unwrap_or_else(|| panic!("rule {r} referenced but not defined"));
                         if state[ci] == State::White {
                             stack.push((ci, false));

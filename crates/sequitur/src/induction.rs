@@ -6,6 +6,7 @@
 //! node, and a digram hash table maps each adjacent symbol pair to its
 //! single allowed location.
 
+// gv-lint: allow(no-nondeterminism) imported for the lookup-only digram table below
 use std::collections::HashMap;
 
 use crate::grammar::{Grammar, GrammarRule, RuleId, Symbol};
@@ -71,6 +72,7 @@ pub struct Sequitur {
     nodes: Vec<Node>,
     free: Vec<u32>,
     rules: Vec<RuleSlot>,
+    // gv-lint: allow(no-nondeterminism) classic Sequitur digram table: probed and mutated by key, never iterated
     digrams: HashMap<(Val, Val), u32>,
     /// Number of terminals consumed.
     len: usize,
@@ -90,6 +92,7 @@ impl Sequitur {
             nodes: Vec::new(),
             free: Vec::new(),
             rules: Vec::new(),
+            // gv-lint: allow(no-nondeterminism) allocates the lookup-only digram table
             digrams: HashMap::new(),
             len: 0,
             stats: InductionStats::default(),
@@ -171,6 +174,7 @@ impl Sequitur {
                 rhs.push(match val {
                     Val::Term(t) => Symbol::Terminal(t),
                     Val::Rule(r) => {
+                        // gv-lint: allow(no-unwrap-in-lib) rule_uses bookkeeping guarantees referenced rules stay live until the referencing body is rewritten
                         Symbol::Rule(id_map[r as usize].expect("live rule referenced a dead rule"))
                     }
                     Val::Guard(_) => unreachable!("guard inside rule body"),
@@ -178,6 +182,7 @@ impl Sequitur {
                 cur = self.nodes[cur as usize].next;
             }
             rules.push(Some(GrammarRule {
+                // gv-lint: allow(no-unwrap-in-lib) id_map[i] was assigned for every live slot in the numbering pass just above
                 id: id_map[i].unwrap(),
                 rhs,
                 rule_uses: slot.uses as usize,

@@ -29,6 +29,9 @@
 //! assert!(matches!(r0.rhs[0], Symbol::Rule(_)));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod dot;
 mod grammar;
 mod induction;

@@ -20,6 +20,9 @@
 //! assert!(z.iter().sum::<f64>().abs() < 1e-9); // zero mean
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod coverage;
 mod error;
 mod interval;

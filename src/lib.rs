@@ -17,6 +17,9 @@
 //! assert!(!report.anomalies.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Time-series substrate (series type, z-norm, windows, intervals, IO).
 pub use gv_timeseries as timeseries;
 
