@@ -1,8 +1,10 @@
 //! Parallel RRA scaling check: runs the same search at 1, 2, 4, and 8
 //! worker threads on an ECG-scale synthetic record, verifies the ranked
 //! discords are **bit-identical** to the sequential run (the engine's
-//! determinism guarantee), and writes one schema-2 trace per thread count
-//! to `BENCH_parallel.json`.
+//! determinism guarantee), and writes one trace per thread count (at the
+//! current `gv_obs::SCHEMA_VERSION`) to `BENCH_parallel.json`. Each
+//! instrumented run also includes a density pass so every pipeline stage
+//! reports a nonzero duration in the export.
 //!
 //! ```text
 //! cargo run -p gv-bench --release --bin parallel_scaling [-- OUT.json [<points>]]
@@ -19,7 +21,9 @@ use std::time::Instant;
 use gv_bench::report;
 use gv_datasets::ecg::ecg_record;
 use gva_core::obs::CollectingRecorder;
-use gva_core::{Detector, EngineConfig, PipelineConfig, RraDetector, SeriesView, Workspace};
+use gva_core::{
+    DensityDetector, Detector, EngineConfig, PipelineConfig, RraDetector, SeriesView, Workspace,
+};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 3;
@@ -75,9 +79,14 @@ fn main() {
             best_ns = best_ns.min(ns);
             assert_eq!(rep.anomalies.len(), warm.anomalies.len());
         }
-        // One instrumented run for the exported counters.
+        // One instrumented run for the exported counters, plus a density
+        // pass into the same recorder — without it the density stage
+        // reads 0 ns in the export (RRA alone never touches it).
         let recorder = CollectingRecorder::new();
         let report = detector
+            .detect(&series, &mut ws, &recorder)
+            .expect("pipeline runs");
+        DensityDetector::new(config.clone(), 3)
             .detect(&series, &mut ws, &recorder)
             .expect("pipeline runs");
 

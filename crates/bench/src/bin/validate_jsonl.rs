@@ -1,9 +1,11 @@
-//! Validates observability JSONL exports against schema version 2.
+//! Validates observability JSONL exports against the current schema
+//! version (`gv_obs::SCHEMA_VERSION`).
 //!
-//! Every line must parse as a JSON object carrying `"schema": 2`, and each
-//! record shape (trace, event, explain row, explain summary) must carry
-//! its required keys. CI runs this over the `BENCH_obs_*.json` trajectory
-//! files so a schema drift fails the build instead of silently producing
+//! Every line must parse as a JSON object carrying the current schema
+//! number, and each record shape (trace, event, explain row, explain
+//! summary, bench run) must carry its required keys. CI runs this over
+//! the `BENCH_obs_*.json` trajectory files and the `gv bench` history so
+//! a schema drift fails the build instead of silently producing
 //! unparseable metrics.
 //!
 //! ```text
@@ -24,6 +26,7 @@ fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
             "label",
             "params",
             "stages_ns",
+            "spans",
             "counters",
             "histograms",
             "derived",
@@ -57,6 +60,10 @@ fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
             "visits",
             "calls",
             "min_density",
+        ]),
+        "bench" => Ok(&[
+            "schema", "workload", "git_sha", "run", "warmup", "reps", "wall_ns", "spans",
+            "counters",
         ]),
         "explain_summary" => Ok(&[
             "schema",
@@ -115,7 +122,10 @@ fn main() {
             eprintln!("{path}: empty file");
             std::process::exit(1);
         }
-        println!("{path}: {n} valid schema-2 record(s)");
+        println!(
+            "{path}: {n} valid schema-{} record(s)",
+            gv_obs::SCHEMA_VERSION
+        );
     }
 }
 
@@ -133,15 +143,37 @@ mod tests {
     }
 
     #[test]
+    fn accepts_bench_records() {
+        use gv_bench::history::BenchRecord;
+        let record = BenchRecord {
+            workload: "standard".to_string(),
+            git_sha: "deadbee".to_string(),
+            run: 0,
+            warmup: false,
+            reps: 3,
+            wall_ns: 42,
+            spans: vec![("detect".to_string(), 42)],
+            counters: vec![("distance_calls".to_string(), 7)],
+        };
+        validate_line(&record.to_jsonl()).unwrap();
+    }
+
+    #[test]
     fn rejects_bad_records() {
+        let v = gv_obs::SCHEMA_VERSION;
         assert!(validate_line("not json").is_err());
         assert!(validate_line("{\"schema\":1,\"label\":\"x\"}").is_err());
         assert!(validate_line("{\"label\":\"x\"}").is_err());
-        assert!(validate_line("{\"schema\":2,\"type\":\"mystery\"}").is_err());
+        assert!(validate_line(&format!("{{\"schema\":{v},\"type\":\"mystery\"}}")).is_err());
         // A trace missing its histograms object.
-        assert!(validate_line(
-            "{\"schema\":2,\"label\":\"x\",\"params\":{},\"stages_ns\":{},\"counters\":{},\"derived\":{}}"
-        )
+        assert!(validate_line(&format!(
+            "{{\"schema\":{v},\"label\":\"x\",\"params\":{{}},\"stages_ns\":{{}},\"spans\":[],\"counters\":{{}},\"derived\":{{}}}}"
+        ))
+        .is_err());
+        // A bench record missing its wall time.
+        assert!(validate_line(&format!(
+            "{{\"schema\":{v},\"type\":\"bench\",\"workload\":\"w\",\"git_sha\":\"s\",\"run\":0,\"warmup\":false,\"reps\":1,\"spans\":{{}},\"counters\":{{}}}}"
+        ))
         .is_err());
     }
 }

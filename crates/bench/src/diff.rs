@@ -1,0 +1,284 @@
+//! Noise-aware perf-regression detection over bench run history.
+//!
+//! `gv bench diff` compares, per workload, the two most recent
+//! steady-state runs in a history file (warmup records are excluded by
+//! construction). A metric only counts as a regression when it clears
+//! **both** a relative threshold and an absolute floor — pure ratios flag
+//! microsecond-scale noise on tiny spans, pure deltas miss real
+//! regressions on fast workloads, so each gate needs the other:
+//!
+//! | metric            | ratio ≥ | and absolute delta ≥ |
+//! |-------------------|---------|----------------------|
+//! | wall time         | 1.5×    | 1 ms                 |
+//! | span self time    | 1.75×   | 1 ms                 |
+//! | counters          | 1.10×   | 1 000                |
+//!
+//! Counters are deterministic for a fixed workload (seeded data,
+//! sequential search), so their 10% headroom only absorbs genuine but
+//! harmless drift (e.g. an allocator-dependent peak); wall and span
+//! thresholds sit well above timer noise yet far below the ≥2× injected
+//! slowdown the CI fixture gates on. Improvements are never flagged.
+
+use crate::history::BenchRecord;
+
+/// Relative + absolute gates for wall time.
+const WALL_RATIO: f64 = 1.5;
+const WALL_FLOOR_NS: u64 = 1_000_000;
+/// Gates for per-span self time (noisier than the total: derived).
+const SPAN_RATIO: f64 = 1.75;
+const SPAN_FLOOR_NS: u64 = 1_000_000;
+/// Gates for counters (deterministic, small headroom).
+const COUNTER_RATIO: f64 = 1.10;
+const COUNTER_FLOOR: u64 = 1_000;
+
+/// One flagged regression: a metric that got worse past the thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Workload the metric belongs to.
+    pub workload: String,
+    /// Metric name (`wall_ns`, `span:<path>`, `counter:<name>`).
+    pub metric: String,
+    /// Value in the earlier run.
+    pub before: u64,
+    /// Value in the later run.
+    pub after: u64,
+    /// `after / before`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {} ({:.2}x)",
+            self.workload, self.metric, self.before, self.after, self.ratio
+        )
+    }
+}
+
+/// The outcome of a diff: which workload pairs were compared and what
+/// regressed.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// `(workload, earlier run, later run)` pairs that were compared.
+    pub compared: Vec<(String, u64, u64)>,
+    /// Every metric that regressed past the thresholds.
+    pub regressions: Vec<Regression>,
+}
+
+impl DiffReport {
+    /// `true` when nothing regressed.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares the two most recent steady-state runs of every workload in
+/// `records` (history-file order; warmup records ignored). Workloads with
+/// fewer than two steady runs are skipped — a first run has no baseline.
+///
+/// # Errors
+/// When *no* workload has two steady-state runs to compare: diffing an
+/// empty or single-run history would vacuously "pass".
+pub fn diff_history(records: &[BenchRecord]) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    let mut workloads: Vec<&str> = Vec::new();
+    for r in records {
+        if !r.warmup && !workloads.contains(&r.workload.as_str()) {
+            workloads.push(&r.workload);
+        }
+    }
+    for workload in workloads {
+        let mut runs: Vec<&BenchRecord> = records
+            .iter()
+            .filter(|r| !r.warmup && r.workload == workload)
+            .collect();
+        runs.sort_by_key(|r| r.run);
+        let [.., prev, cur] = runs.as_slice() else {
+            continue;
+        };
+        report
+            .compared
+            .push((workload.to_string(), prev.run, cur.run));
+        report.regressions.extend(diff_pair(prev, cur));
+    }
+    if report.compared.is_empty() {
+        return Err("history holds no workload with two steady-state runs to compare".to_string());
+    }
+    Ok(report)
+}
+
+/// All regressions between one pair of steady-state records.
+pub fn diff_pair(prev: &BenchRecord, cur: &BenchRecord) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let mut check = |metric: String, before: u64, after: u64, ratio_gate: f64, floor: u64| {
+        if before == 0 || after <= before {
+            return;
+        }
+        let ratio = after as f64 / before as f64;
+        if ratio >= ratio_gate && after - before >= floor {
+            out.push(Regression {
+                workload: cur.workload.clone(),
+                metric,
+                before,
+                after,
+                ratio,
+            });
+        }
+    };
+    check(
+        "wall_ns".to_string(),
+        prev.wall_ns,
+        cur.wall_ns,
+        WALL_RATIO,
+        WALL_FLOOR_NS,
+    );
+    for (path, after) in &cur.spans {
+        if let Some((_, before)) = prev.spans.iter().find(|(p, _)| p == path) {
+            check(
+                format!("span:{path}"),
+                *before,
+                *after,
+                SPAN_RATIO,
+                SPAN_FLOOR_NS,
+            );
+        }
+    }
+    for (name, after) in &cur.counters {
+        if let Some((_, before)) = prev.counters.iter().find(|(n, _)| n == name) {
+            check(
+                format!("counter:{name}"),
+                *before,
+                *after,
+                COUNTER_RATIO,
+                COUNTER_FLOOR,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(run: u64, wall: u64, span_detect: u64, calls: u64) -> BenchRecord {
+        BenchRecord {
+            workload: "standard".to_string(),
+            git_sha: "abc1234".to_string(),
+            run,
+            warmup: false,
+            reps: 3,
+            wall_ns: wall,
+            spans: vec![("detect".to_string(), span_detect)],
+            counters: vec![("distance_calls".to_string(), calls)],
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let h = [
+            record(0, 10_000_000, 8_000_000, 50_000),
+            record(1, 10_000_000, 8_000_000, 50_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.compared, vec![("standard".to_string(), 0, 1)]);
+    }
+
+    #[test]
+    fn noise_below_both_gates_is_tolerated() {
+        // +30% wall (under 1.5x), +60% span (under 1.75x), +8% counters
+        // (under 1.10x): all within the noise envelope.
+        let h = [
+            record(0, 10_000_000, 5_000_000, 50_000),
+            record(1, 13_000_000, 8_000_000, 54_000),
+        ];
+        assert!(diff_history(&h).unwrap().is_clean());
+    }
+
+    #[test]
+    fn small_absolute_deltas_never_flag() {
+        // A 10x ratio on a 20µs span is noise, not a regression: the
+        // absolute floor keeps it quiet.
+        let h = [
+            record(0, 20_000, 2_000, 10),
+            record(1, 200_000, 20_000, 100),
+        ];
+        assert!(diff_history(&h).unwrap().is_clean());
+    }
+
+    #[test]
+    fn doubled_wall_time_is_flagged() {
+        let h = [
+            record(0, 10_000_000, 8_000_000, 50_000),
+            record(1, 21_000_000, 8_000_000, 50_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "wall_ns");
+        assert!(r.ratio > 2.0);
+        assert!(r.to_string().contains("standard/wall_ns"), "{r}");
+    }
+
+    #[test]
+    fn span_and_counter_regressions_are_flagged() {
+        let h = [
+            record(0, 10_000_000, 8_000_000, 50_000),
+            record(1, 10_500_000, 17_000_000, 60_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        let metrics: Vec<&str> = report
+            .regressions
+            .iter()
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert_eq!(metrics, ["span:detect", "counter:distance_calls"]);
+    }
+
+    #[test]
+    fn improvements_are_never_flagged() {
+        let h = [
+            record(0, 20_000_000, 16_000_000, 50_000),
+            record(1, 5_000_000, 4_000_000, 10_000),
+        ];
+        assert!(diff_history(&h).unwrap().is_clean());
+    }
+
+    #[test]
+    fn compares_latest_pair_only() {
+        // Run 0 was slow; runs 1 and 2 are fast — no regression, the old
+        // slow run is history, not the baseline.
+        let h = [
+            record(0, 40_000_000, 30_000_000, 50_000),
+            record(1, 10_000_000, 8_000_000, 50_000),
+            record(2, 10_200_000, 8_100_000, 50_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.compared, vec![("standard".to_string(), 1, 2)]);
+    }
+
+    #[test]
+    fn warmup_records_are_excluded() {
+        let mut warm = record(1, 90_000_000, 0, 0);
+        warm.warmup = true;
+        warm.spans.clear();
+        warm.counters.clear();
+        let h = [
+            record(0, 10_000_000, 8_000_000, 50_000),
+            warm,
+            record(1, 10_100_000, 8_000_000, 50_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        assert!(report.is_clean(), "warmup wall must not be compared");
+    }
+
+    #[test]
+    fn single_run_history_errors() {
+        let h = [record(0, 10_000_000, 8_000_000, 50_000)];
+        assert!(diff_history(&h).is_err());
+        assert!(diff_history(&[]).is_err());
+    }
+}

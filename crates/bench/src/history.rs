@@ -1,0 +1,278 @@
+//! Append-only run history for the `gv bench` regression harness.
+//!
+//! Every benchmark run appends one warmup record and one steady-state
+//! record per workload to a JSONL history file, keyed by git SHA and
+//! workload name. Records share [`gv_obs::SCHEMA_VERSION`] with the rest
+//! of the observability exports, so `validate_jsonl` gates them too, and
+//! `gv bench diff` compares the two most recent steady-state runs per
+//! workload (see [`crate::diff`]).
+
+use serde::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One benchmark measurement: either a tagged warmup iteration (first
+/// call, cold caches and allocator — kept out of steady-state statistics)
+/// or a steady-state aggregate over `reps` timed repetitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Workload name from the registry (`standard`, `streaming`, `sweep`).
+    pub workload: String,
+    /// Short git commit SHA of the tree that produced the record
+    /// (`"unknown"` outside a git checkout).
+    pub git_sha: String,
+    /// Per-workload run sequence number within the history file; `gv bench
+    /// diff` compares the two highest.
+    pub run: u64,
+    /// `true` for the tagged warmup iteration — excluded from diffs so
+    /// first-call effects never pollute steady-state comparisons.
+    pub warmup: bool,
+    /// How many timed repetitions `wall_ns` aggregates (1 for warmup).
+    pub reps: u64,
+    /// Best (minimum) wall time over the repetitions, in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-span self time (`path` → `self_ns`) from one instrumented
+    /// steady-state repetition; empty for warmup records.
+    pub spans: Vec<(String, u64)>,
+    /// Counters from the same instrumented repetition; empty for warmup.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// Renders the record as one JSONL line (schema
+    /// [`gv_obs::SCHEMA_VERSION`], `"type":"bench"`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"schema\":{},\"type\":\"bench\",\"workload\":{},\"git_sha\":{},\"run\":{},\"warmup\":{},\"reps\":{},\"wall_ns\":{}",
+            gv_obs::SCHEMA_VERSION,
+            json_str(&self.workload),
+            json_str(&self.git_sha),
+            self.run,
+            self.warmup,
+            self.reps,
+            self.wall_ns,
+        );
+        out.push_str(",\"spans\":{");
+        for (i, (path, ns)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(path), ns);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(name), v);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a history line back into a record.
+    ///
+    /// # Errors
+    /// A message naming the missing or mistyped field.
+    pub fn from_jsonl(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let kind = str_field(&v, "type")?;
+        if kind != "bench" {
+            return Err(format!("not a bench record (type {kind:?})"));
+        }
+        let schema = u64_field(&v, "schema")?;
+        if schema != gv_obs::SCHEMA_VERSION {
+            return Err(format!(
+                "schema {schema}, expected {}",
+                gv_obs::SCHEMA_VERSION
+            ));
+        }
+        Ok(BenchRecord {
+            workload: str_field(&v, "workload")?.to_string(),
+            git_sha: str_field(&v, "git_sha")?.to_string(),
+            run: u64_field(&v, "run")?,
+            warmup: bool_field(&v, "warmup")?,
+            reps: u64_field(&v, "reps")?,
+            wall_ns: u64_field(&v, "wall_ns")?,
+            spans: u64_map_field(&v, "spans")?,
+            counters: u64_map_field(&v, "counters")?,
+        })
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    match v.field(key) {
+        Ok(Value::Str(s)) => Ok(s),
+        _ => Err(format!("missing or non-string field {key:?}")),
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    match v.field(key) {
+        Ok(Value::U64(n)) => Ok(*n),
+        _ => Err(format!("missing or non-integer field {key:?}")),
+    }
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    match v.field(key) {
+        Ok(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean field {key:?}")),
+    }
+}
+
+fn u64_map_field(v: &Value, key: &str) -> Result<Vec<(String, u64)>, String> {
+    match v.field(key) {
+        Ok(Value::Object(entries)) => entries
+            .iter()
+            .map(|(k, val)| match val {
+                Value::U64(n) => Ok((k.clone(), *n)),
+                _ => Err(format!("non-integer value in {key:?} for {k:?}")),
+            })
+            .collect(),
+        _ => Err(format!("missing or non-object field {key:?}")),
+    }
+}
+
+/// The short SHA of the current git HEAD, or `"unknown"` when git or the
+/// repository is unavailable (the harness must work from a tarball too).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Loads every bench record from a history file, in file order.
+///
+/// # Errors
+/// I/O failure or the first malformed line (with its line number).
+pub fn load(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    body.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            BenchRecord::from_jsonl(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// Appends records to a history file, creating it if needed. Append-only
+/// by design: history accumulates across runs, the diff picks the latest.
+///
+/// # Errors
+/// I/O failure opening or writing the file.
+pub fn append(path: &Path, records: &[BenchRecord]) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    for r in records {
+        writeln!(file, "{}", r.to_jsonl()).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// The next run sequence number for `workload` given the existing history
+/// (0 for an empty file).
+pub fn next_run_index(records: &[BenchRecord], workload: &str) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.workload == workload)
+        .map(|r| r.run + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(run: u64, warmup: bool) -> BenchRecord {
+        BenchRecord {
+            workload: "standard".to_string(),
+            git_sha: "abc1234".to_string(),
+            run,
+            warmup,
+            reps: if warmup { 1 } else { 3 },
+            wall_ns: 12_345_678,
+            spans: if warmup {
+                vec![]
+            } else {
+                vec![
+                    ("detect".to_string(), 1000),
+                    ("detect;rra-outer".to_string(), 400),
+                ]
+            },
+            counters: if warmup {
+                vec![]
+            } else {
+                vec![("distance_calls".to_string(), 162)]
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        for r in [sample(0, true), sample(0, false), sample(7, false)] {
+            let line = r.to_jsonl();
+            assert!(line.starts_with(&format!("{{\"schema\":{},", gv_obs::SCHEMA_VERSION)));
+            assert_eq!(BenchRecord::from_jsonl(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_records() {
+        assert!(BenchRecord::from_jsonl("{\"type\":\"event\"}").is_err());
+        assert!(BenchRecord::from_jsonl("not json").is_err());
+        let wrong_schema = sample(0, false).to_jsonl().replacen(
+            &format!("\"schema\":{}", gv_obs::SCHEMA_VERSION),
+            "\"schema\":1",
+            1,
+        );
+        assert!(BenchRecord::from_jsonl(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn append_then_load_accumulates() {
+        let dir = std::env::temp_dir().join("gv_bench_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("h_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append(&path, &[sample(0, true), sample(0, false)]).unwrap();
+        append(&path, &[sample(1, false)]).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(next_run_index(&loaded, "standard"), 2);
+        assert_eq!(next_run_index(&loaded, "streaming"), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn git_sha_is_nonempty() {
+        assert!(!git_sha().is_empty());
+    }
+}

@@ -1,10 +1,15 @@
 //! # gv-bench
 //!
 //! Benchmark harness regenerating every table and figure of the EDBT'15
-//! paper. See the `bin/` report binaries (one per table/figure) and the
-//! Criterion benches under `benches/`.
+//! paper, plus the `gv bench` perf-regression harness. See the `bin/`
+//! report binaries (one per table/figure), the Criterion benches under
+//! `benches/`, and the [`workload`]/[`history`]/[`diff`] modules backing
+//! `gv bench run` / `gv bench diff`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod history;
 pub mod report;
+pub mod workload;

@@ -1,0 +1,57 @@
+//! The checked-in CI perf gate fixtures: `bench_clean.jsonl` must diff
+//! clean and `bench_slowdown.jsonl` (an injected ~2.3x slowdown of the
+//! rra-inner span plus the wall time) must flag regressions. These are
+//! the same files the CI perf-smoke job runs `gv bench diff` against, so
+//! a threshold change that silently defuses the gate fails here first.
+
+use std::path::PathBuf;
+
+use gv_bench::diff::diff_history;
+use gv_bench::history;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn clean_fixture_diffs_clean() {
+    let records = history::load(&fixture("bench_clean.jsonl")).unwrap();
+    let report = diff_history(&records).unwrap();
+    assert!(
+        report.is_clean(),
+        "clean fixture flagged: {:?}",
+        report.regressions
+    );
+    assert_eq!(report.compared.len(), 1, "one workload pair compared");
+}
+
+#[test]
+fn slowdown_fixture_trips_the_gate() {
+    let records = history::load(&fixture("bench_slowdown.jsonl")).unwrap();
+    let report = diff_history(&records).unwrap();
+    assert!(!report.is_clean());
+    let metrics: Vec<&str> = report
+        .regressions
+        .iter()
+        .map(|r| r.metric.as_str())
+        .collect();
+    assert!(
+        metrics.contains(&"wall_ns"),
+        "wall regression not flagged: {metrics:?}"
+    );
+    assert!(
+        metrics.contains(&"span:detect;rra-outer;rra-inner"),
+        "span regression not flagged: {metrics:?}"
+    );
+    assert!(
+        metrics.contains(&"counter:distance_calls"),
+        "counter regression not flagged: {metrics:?}"
+    );
+    // Improvements and sub-threshold jitter on the other spans stay quiet.
+    assert!(
+        !metrics.iter().any(|m| m.contains("discretize")),
+        "jitter-level span flagged: {metrics:?}"
+    );
+}

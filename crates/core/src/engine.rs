@@ -22,7 +22,7 @@
 use gv_discord::{
     brute_force_discords_in, hotsax_discords_in, DiscordRecord, HotSaxConfig, SearchStats,
 };
-use gv_obs::{time_stage, Counter, Recorder, Stage};
+use gv_obs::{Counter, Recorder, SpanId, SpanTimer, Stage};
 use gv_timeseries::Interval;
 
 use crate::config::PipelineConfig;
@@ -299,6 +299,20 @@ impl RraDetector {
         ws: &mut Workspace,
         recorder: &dyn Recorder,
     ) -> Result<RraReport> {
+        self.search_model_under(values, model, ws, recorder, None)
+    }
+
+    /// [`RraDetector::search_model`] with the search spans grafted under
+    /// `parent` in the recorder's span tree; `None` leaves `rra-outer` as
+    /// a root span.
+    pub fn search_model_under(
+        &self,
+        values: &[f64],
+        model: &GrammarModel,
+        ws: &mut Workspace,
+        recorder: &dyn Recorder,
+        parent: Option<SpanId>,
+    ) -> Result<RraReport> {
         let Workspace {
             candidates, rra, ..
         } = ws;
@@ -314,6 +328,7 @@ impl RraDetector {
             self.engine.threads(),
             rra,
             &recorder,
+            parent,
         )
     }
 }
@@ -330,10 +345,12 @@ impl Detector for RraDetector {
         recorder: &dyn Recorder,
     ) -> Result<Report> {
         check_k(self.k)?;
-        let model = ws.build_model(&self.config, series.values(), &recorder)?;
-        let searched = self.search_model(series.values(), &model, ws, recorder);
+        let root = SpanTimer::start(&recorder, None, Stage::Detect);
+        let model = ws.build_model_under(&self.config, series.values(), &recorder, root.span())?;
+        let searched = self.search_model_under(series.values(), &model, ws, recorder, root.span());
         let grammar_size = model.grammar.grammar_size();
         ws.recycle_model(model);
+        root.finish(&recorder);
         let report = searched?;
         Ok(Report {
             detector: self.name(),
@@ -377,10 +394,22 @@ impl DensityDetector {
     /// Runs the density stage against an already-built model (the sweep
     /// builds one model and runs both detectors on it).
     pub fn report_model(&self, model: &GrammarModel, recorder: &dyn Recorder) -> DensityReport {
+        self.report_model_under(model, recorder, None)
+    }
+
+    /// [`DensityDetector::report_model`] with the density span grafted
+    /// under `parent` in the recorder's span tree.
+    pub fn report_model_under(
+        &self,
+        model: &GrammarModel,
+        recorder: &dyn Recorder,
+        parent: Option<SpanId>,
+    ) -> DensityReport {
         let edge = self.trim_edge.unwrap_or_else(|| self.config.window());
-        time_stage(&recorder, Stage::Density, || {
-            RuleDensity::from_model(model).report_trimmed(self.k, edge)
-        })
+        let timer = SpanTimer::start(&recorder, parent, Stage::Density);
+        let report = RuleDensity::from_model(model).report_trimmed(self.k, edge);
+        timer.finish(&recorder);
+        report
     }
 }
 
@@ -396,11 +425,13 @@ impl Detector for DensityDetector {
         recorder: &dyn Recorder,
     ) -> Result<Report> {
         check_k(self.k)?;
-        let model = ws.build_model(&self.config, series.values(), &recorder)?;
-        let report = self.report_model(&model, recorder);
+        let root = SpanTimer::start(&recorder, None, Stage::Detect);
+        let model = ws.build_model_under(&self.config, series.values(), &recorder, root.span())?;
+        let report = self.report_model_under(&model, recorder, root.span());
         let grammar_size = model.grammar.grammar_size();
         let num_candidates = model.series_len;
         ws.recycle_model(model);
+        root.finish(&recorder);
         let anomalies = report
             .anomalies
             .iter()
@@ -450,8 +481,10 @@ impl Detector for BruteForceDetector {
     ) -> Result<Report> {
         check_k(self.k)?;
         check_finite(series.values())?;
+        let root = SpanTimer::start(&recorder, None, Stage::Detect);
         let (discords, stats) =
             brute_force_discords_in(series.values(), self.discord_len, self.k, &mut ws.normed)?;
+        root.finish(&recorder);
         publish_stats(recorder, &stats);
         Ok(Report {
             detector: self.name(),
@@ -492,8 +525,10 @@ impl Detector for HotSaxDetector {
     ) -> Result<Report> {
         check_k(self.k)?;
         check_finite(series.values())?;
+        let root = SpanTimer::start(&recorder, None, Stage::Detect);
         let (discords, stats) =
             hotsax_discords_in(series.values(), &self.config, self.k, &mut ws.hotsax)?;
+        root.finish(&recorder);
         publish_stats(recorder, &stats);
         Ok(Report {
             detector: self.name(),

@@ -67,7 +67,7 @@ impl DiscordProvenance {
         Interval::new(self.position, self.position + self.length)
     }
 
-    /// Encodes the row as one JSON line (no trailing newline), schema 2.
+    /// Encodes the row as one JSON line (no trailing newline), at the current schema version.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(224);
         let _ = write!(
@@ -200,7 +200,7 @@ impl ExplainReport {
     }
 
     /// Encodes the report summary as one JSON line (no trailing newline),
-    /// schema 2.
+    /// the current schema version.
     pub fn summary_jsonl(&self) -> String {
         let mut out = String::with_capacity(512);
         let _ = write!(
@@ -380,7 +380,7 @@ mod tests {
         assert!(table.contains("density"));
         assert!(table.contains("distance call ns"));
         let row = explain.rows[0].to_jsonl();
-        assert!(row.starts_with("{\"schema\":2,\"type\":\"explain\""));
+        assert!(row.starts_with("{\"schema\":3,\"type\":\"explain\""));
         for key in [
             "rank",
             "position",
@@ -397,7 +397,7 @@ mod tests {
             assert!(row.contains(&format!("\"{key}\":")), "{key} in {row}");
         }
         let summary = explain.summary_jsonl();
-        assert!(summary.starts_with("{\"schema\":2,\"type\":\"explain_summary\""));
+        assert!(summary.starts_with("{\"schema\":3,\"type\":\"explain_summary\""));
         assert!(summary.contains("\"distance_ns\":{\"count\":"));
         assert!(summary.contains("\"abandon_pos\":{\"count\":"));
     }

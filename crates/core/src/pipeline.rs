@@ -1,6 +1,6 @@
 //! The end-to-end pipeline facade.
 
-use gv_obs::{LocalRecorder, NoopRecorder, Recorder};
+use gv_obs::{LocalRecorder, NoopRecorder, Recorder, SpanTimer, Stage};
 
 use crate::config::PipelineConfig;
 use crate::density::DensityReport;
@@ -157,9 +157,11 @@ impl AnomalyPipeline {
         // when the caller's sink is a Noop.
         let local = LocalRecorder::new();
         let mut ws = Workspace::new();
-        let model = ws.build_model(&self.config, values, &local)?;
+        let root = SpanTimer::start(&local, None, Stage::Detect);
+        let model = ws.build_model_under(&self.config, values, &local, root.span())?;
         let detector = RraDetector::new(self.config.clone(), k).with_engine(self.engine);
-        let report = detector.search_model(values, &model, &mut ws, &local)?;
+        let report = detector.search_model_under(values, &model, &mut ws, &local, root.span())?;
+        root.finish(&local);
         let explain = ExplainReport::from_run(&model, &report, &local);
         local.merge_into(recorder);
         Ok(explain)

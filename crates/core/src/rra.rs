@@ -35,7 +35,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use gv_discord::{distance, DiscordRecord, SearchStats};
 use gv_obs::{
-    Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, Stage, StageTimer,
+    Counter, Event, EventKind, LocalRecorder, Metric, NoopRecorder, Recorder, SpanId, SpanTimer,
+    Stage,
 };
 use gv_sequitur::RuleId;
 use gv_timeseries::{resample_to, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
@@ -118,6 +119,7 @@ pub fn discords_parallel_with<R: Recorder>(
         threads,
         &mut RraScratch::default(),
         recorder,
+        None,
     )
 }
 
@@ -205,6 +207,7 @@ pub fn discords_with_options_recorded<R: Recorder>(
         1,
         &mut RraScratch::default(),
         recorder,
+        None,
     )
 }
 
@@ -326,6 +329,7 @@ fn scan_candidate<F: Fn() -> f64>(
     local: &LocalRecorder,
     detail: bool,
     timing: bool,
+    inner_span: Option<SpanId>,
 ) -> (f64, bool) {
     let p = &candidates[pi];
     let p_len = p.interval.len();
@@ -352,7 +356,7 @@ fn scan_candidate<F: Fn() -> f64>(
 
     let mut nearest = f64::INFINITY;
     let mut pruned = false;
-    let inner_timer = StageTimer::start_if(timing, Stage::RraInner);
+    let inner_timer = SpanTimer::start_at(timing, inner_span, Stage::RraInner);
 
     // Inner phase 1: same-rule siblings.
     if options.siblings_first {
@@ -459,6 +463,7 @@ pub(crate) fn search_in<R: Recorder>(
     threads: usize,
     scratch: &mut RraScratch,
     recorder: &R,
+    parent: Option<SpanId>,
 ) -> Result<RraReport> {
     if candidates.len() < 2 {
         return Err(Error::NoCandidates);
@@ -473,7 +478,18 @@ pub(crate) fn search_in<R: Recorder>(
         LocalRecorder::counters_only()
     };
     let timing = recorder.enabled();
-    let outer_timer = StageTimer::start_if(timing, Stage::RraOuter);
+    // Spans accumulate in `local` (rooted at rra-outer) and are grafted
+    // under the caller's `parent` at the final merge. The inner node is
+    // resolved up front on both the sequential and parallel paths so the
+    // tree *shape* is identical for every thread count, even when a rank
+    // scans zero candidates.
+    let outer_timer = SpanTimer::start_if(timing, &local, None, Stage::RraOuter);
+    let outer_span = outer_timer.span();
+    let inner_span = if timing {
+        local.span_id(outer_span, Stage::RraInner)
+    } else {
+        None
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let n = candidates.len();
     let threads = threads.max(1);
@@ -516,12 +532,12 @@ pub(crate) fn search_in<R: Recorder>(
         let selected = if threads > 1 {
             parallel_rank(
                 values, candidates, outer, inner, active, completed, sib_pairs, workers, &found,
-                options, threads, &local, detail, timing,
+                options, threads, &local, detail, timing, outer_span,
             )
         } else {
             sequential_rank(
                 values, candidates, outer, inner, sib_pairs, bufs, &found, options, &local, detail,
-                timing,
+                timing, inner_span,
             )
         };
         match selected {
@@ -546,7 +562,7 @@ pub(crate) fn search_in<R: Recorder>(
         candidates_pruned: local.counter(Counter::CandidatesPruned),
         candidates_completed: local.counter(Counter::CandidatesCompleted),
     };
-    local.merge_into(recorder);
+    local.merge_into_under(recorder, parent);
     Ok(RraReport {
         discords: found,
         stats,
@@ -570,6 +586,7 @@ fn sequential_rank(
     local: &LocalRecorder,
     detail: bool,
     timing: bool,
+    inner_span: Option<SpanId>,
 ) -> Option<(usize, f64)> {
     let mut best_dist = -1.0f64;
     let mut best: Option<usize> = None;
@@ -590,6 +607,7 @@ fn sequential_rank(
             local,
             detail,
             timing,
+            inner_span,
         );
         if pruned {
             continue;
@@ -625,6 +643,7 @@ fn parallel_rank(
     local: &LocalRecorder,
     detail: bool,
     timing: bool,
+    outer_span: Option<SpanId>,
 ) -> Option<(usize, f64)> {
     active.clear();
     active.extend(
@@ -660,6 +679,16 @@ fn parallel_rank(
                     } else {
                         LocalRecorder::counters_only()
                     };
+                    // SpanIds are per-recorder: each worker roots its own
+                    // rra-inner node in `wlocal`; the graft under the
+                    // search's rra-outer happens at merge time, where the
+                    // `(parent, stage)` key folds every worker's node into
+                    // one — the thread-count-invariant tree contract.
+                    let wspan = if timing {
+                        wlocal.span_id(None, Stage::RraInner)
+                    } else {
+                        None
+                    };
                     let mut wcompleted: Vec<(u32, f64)> = Vec::new();
                     for (ai, &pi32) in active_ref.iter().enumerate().skip(t).step_by(threads) {
                         let (nearest, pruned) = scan_candidate(
@@ -674,6 +703,7 @@ fn parallel_rank(
                             &wlocal,
                             detail,
                             timing,
+                            wspan,
                         );
                         // Only finite, fully-searched distances may enter
                         // the shared bound or the result set: a candidate
@@ -707,7 +737,7 @@ fn parallel_rank(
     });
 
     for (wlocal, wcompleted) in worker_results {
-        wlocal.merge_into(local);
+        wlocal.merge_into_under(local, outer_span);
         completed.extend(wcompleted);
     }
 
@@ -1105,6 +1135,7 @@ mod tests {
             1,
             &mut RraScratch::default(),
             &NoopRecorder,
+            None,
         )
         .unwrap();
         for threads in [2, 3, 4, 8] {
@@ -1117,6 +1148,7 @@ mod tests {
                 threads,
                 &mut RraScratch::default(),
                 &NoopRecorder,
+                None,
             )
             .unwrap();
             assert_eq!(sequential.discords.len(), parallel.discords.len());
@@ -1185,6 +1217,7 @@ mod tests {
             1,
             &mut scratch,
             &NoopRecorder,
+            None,
         )
         .unwrap();
         let sig = scratch.capacity_signature();
@@ -1198,6 +1231,7 @@ mod tests {
                 1,
                 &mut scratch,
                 &NoopRecorder,
+                None,
             )
             .unwrap();
             assert_eq!(fresh.discords.len(), again.discords.len());

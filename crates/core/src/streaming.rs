@@ -487,7 +487,7 @@ mod tests {
             assert_eq!(snap.label, "stream");
             let seen = snap.params.iter().find(|(k, _)| k == "seen").unwrap().1;
             assert_eq!(seen, 200 * (i as u64 + 1));
-            assert!(snap.to_jsonl().starts_with("{\"schema\":2,"));
+            assert!(snap.to_jsonl().starts_with("{\"schema\":3,"));
         }
         // Monotone token counts across flushes.
         let tokens: Vec<u64> = det

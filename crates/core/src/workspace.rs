@@ -17,7 +17,7 @@
 //! retained) when a detector is done with the model.
 
 use gv_discord::HotSaxScratch;
-use gv_obs::{time_stage, Counter, Recorder, Stage};
+use gv_obs::{Counter, Recorder, SpanId, SpanTimer, Stage};
 use gv_sax::{SaxDictionary, SaxRecord};
 use gv_sequitur::Sequitur;
 
@@ -64,7 +64,23 @@ impl Workspace {
         values: &[f64],
         recorder: &R,
     ) -> Result<GrammarModel> {
+        self.build_model_under(config, values, recorder, None)
+    }
+
+    /// [`Workspace::build_model`] with the three model stages recorded as
+    /// span-tree children of `parent` (the detector's `detect` root);
+    /// `None` leaves them as root spans.
+    pub fn build_model_under<R: Recorder>(
+        &mut self,
+        config: &PipelineConfig,
+        values: &[f64],
+        recorder: &R,
+        parent: Option<SpanId>,
+    ) -> Result<GrammarModel> {
         crate::engine::check_finite(values)?;
+        // The SAX discretizer times the flat Discretize stage itself, so
+        // the wrapper here lands on the span node only.
+        let disc = SpanTimer::start(recorder, parent, Stage::Discretize);
         config.sax().discretize_into(
             values,
             config.numerosity_reduction(),
@@ -73,14 +89,16 @@ impl Workspace {
             &mut self.zbuf,
             &mut self.pbuf,
         )?;
+        disc.finish_span_only(recorder);
         let records = std::mem::take(&mut self.records);
         let mut dictionary = std::mem::take(&mut self.dictionary);
         let tokens = &mut self.tokens;
         tokens.clear();
-        time_stage(recorder, Stage::Intern, || {
-            tokens.extend(records.iter().map(|rec| dictionary.intern(&rec.word)));
-        });
-        let grammar = time_stage(recorder, Stage::Induce, || {
+        let intern = SpanTimer::start(recorder, parent, Stage::Intern);
+        tokens.extend(records.iter().map(|rec| dictionary.intern(&rec.word)));
+        intern.finish(recorder);
+        let induce = SpanTimer::start(recorder, parent, Stage::Induce);
+        let grammar = {
             let mut seq = Sequitur::new();
             for &tok in tokens.iter() {
                 seq.push(tok);
@@ -90,7 +108,8 @@ impl Workspace {
             recorder.add(Counter::RulesDeleted, stats.rules_deleted);
             recorder.update_max(Counter::PeakDigramEntries, stats.peak_digram_entries);
             seq.finish()
-        });
+        };
+        induce.finish(recorder);
         Ok(GrammarModel {
             grammar,
             records,

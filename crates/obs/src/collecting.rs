@@ -3,6 +3,7 @@
 use crate::event::{Event, EventRing};
 use crate::histogram::Histogram;
 use crate::recorder::Recorder;
+use crate::span::{SpanId, SpanSet, SpanTree};
 use crate::stage::{Counter, Metric, Stage};
 use crate::trace::PipelineTrace;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,7 @@ struct Inner {
     stages: [AtomicU64; Stage::COUNT],
     histograms: Mutex<[Histogram; Metric::COUNT]>,
     events: Mutex<EventRing>,
+    spans: Mutex<SpanSet>,
 }
 
 impl Default for Inner {
@@ -49,6 +51,7 @@ impl Default for Inner {
             stages: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: Mutex::new(std::array::from_fn(|_| Histogram::new())),
             events: Mutex::new(EventRing::new()),
+            spans: Mutex::new(SpanSet::new()),
         }
     }
 }
@@ -85,7 +88,12 @@ impl CollectingRecorder {
         (ring.recorded(), ring.dropped())
     }
 
-    /// Resets every counter, timer, histogram, and event to zero.
+    /// A deterministic snapshot of the recorded span tree.
+    pub fn span_tree(&self) -> SpanTree {
+        relock(&self.inner.spans).snapshot()
+    }
+
+    /// Resets every counter, timer, histogram, event, and span to zero.
     pub fn reset(&self) {
         for c in &self.inner.counters {
             c.store(0, Ordering::Relaxed);
@@ -97,6 +105,7 @@ impl CollectingRecorder {
             *h = Histogram::new();
         }
         relock(&self.inner.events).clear();
+        relock(&self.inner.spans).clear();
     }
 
     /// Snapshots the current state into a labelled [`PipelineTrace`].
@@ -108,6 +117,7 @@ impl CollectingRecorder {
             stage_nanos: std::array::from_fn(|i| self.inner.stages[i].load(Ordering::Relaxed)),
             counters: std::array::from_fn(|i| self.inner.counters[i].load(Ordering::Relaxed)),
             histograms: std::array::from_fn(|i| histograms[i].clone()),
+            spans: self.span_tree(),
         }
     }
 }
@@ -146,6 +156,21 @@ impl Recorder for CollectingRecorder {
     #[inline]
     fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
         relock(&self.inner.histograms)[metric.index()].merge(histogram);
+    }
+
+    #[inline]
+    fn span_id(&self, parent: Option<SpanId>, stage: Stage) -> Option<SpanId> {
+        Some(relock(&self.inner.spans).span_id(parent, stage))
+    }
+
+    #[inline]
+    fn record_span(&self, id: SpanId, nanos: u64, count: u64) {
+        relock(&self.inner.spans).record(id, nanos, count);
+    }
+
+    #[inline]
+    fn merge_spans(&self, spans: &SpanSet, under: Option<SpanId>) {
+        relock(&self.inner.spans).merge_from(spans, under);
     }
 }
 

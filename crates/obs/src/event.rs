@@ -85,7 +85,7 @@ impl Event {
     }
 
     /// Encodes the event as one JSON line (no trailing newline). Schema:
-    /// `{"schema":2,"type":"event","kind":str,"position":int,"length":int,
+    /// `{"schema":3,"type":"event","kind":str,"position":int,"length":int,
     /// "rule":int|null,"frequency":int,"calls":int,"value":float}` —
     /// every key always present.
     pub fn to_jsonl(&self) -> String {
@@ -273,7 +273,7 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "{key} in {json}");
         }
-        assert!(json.contains("\"schema\":2"));
+        assert!(json.contains("\"schema\":3"));
         assert!(json.contains("\"kind\":\"completed\""));
         assert!(json.contains("\"rule\":7"));
         assert!(json.contains("\"value\":0.25"));

@@ -48,6 +48,20 @@
 //! [`Recorder::detailed`], which is `false` on [`NoopRecorder`], so the
 //! uninstrumented hot path still never reads the clock.
 
+//! ## Level 3: hierarchical spans
+//!
+//! The flat per-stage sums answer *how long*; [`Span`]s answer *where*:
+//! stages form an explicit parent/child tree rooted at [`Stage::Detect`],
+//! with self-time derived structurally (parent total minus children
+//! totals). Nodes are keyed by `(parent, stage)` so the tree's shape is a
+//! function of the code path — per-worker subtrees merged under a stable
+//! key yield a [`SpanTree`] that is bit-identical across thread counts,
+//! the same contract the parallel RRA search honors for its ranks. The
+//! tree exports as a schema-3 JSONL array and as collapsed-stack text for
+//! standard flamegraph tooling ([`SpanTree::collapsed`]). All span
+//! methods default to no-ops and return `None` on [`NoopRecorder`], so
+//! the zero-overhead contract is untouched.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -56,6 +70,7 @@ mod event;
 mod histogram;
 mod local;
 mod recorder;
+mod span;
 mod stage;
 mod timer;
 mod trace;
@@ -65,6 +80,7 @@ pub use event::{Event, EventKind, EventRing};
 pub use histogram::Histogram;
 pub use local::LocalRecorder;
 pub use recorder::{time_stage, NoopRecorder, Recorder};
+pub use span::{Span, SpanId, SpanSet, SpanTree};
 pub use stage::{Counter, Metric, Stage};
-pub use timer::{DetailTimer, StageTimer};
+pub use timer::{DetailTimer, SpanTimer, StageTimer};
 pub use trace::{PipelineTrace, SCHEMA_VERSION};

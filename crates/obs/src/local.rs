@@ -3,6 +3,7 @@
 use crate::event::{Event, EventRing};
 use crate::histogram::Histogram;
 use crate::recorder::Recorder;
+use crate::span::{SpanId, SpanSet, SpanTree};
 use crate::stage::{Counter, Metric, Stage};
 use crate::trace::PipelineTrace;
 use std::cell::{Cell, Ref, RefCell};
@@ -26,6 +27,7 @@ pub struct LocalRecorder {
     stages: [Cell<u64>; Stage::COUNT],
     histograms: RefCell<[Histogram; Metric::COUNT]>,
     events: RefCell<EventRing>,
+    spans: RefCell<SpanSet>,
     detailed: bool,
 }
 
@@ -55,6 +57,7 @@ impl LocalRecorder {
             stages: std::array::from_fn(|_| Cell::new(0)),
             histograms: RefCell::new(std::array::from_fn(|_| Histogram::new())),
             events: RefCell::new(EventRing::new()),
+            spans: RefCell::new(SpanSet::new()),
             detailed,
         }
     }
@@ -85,7 +88,12 @@ impl LocalRecorder {
         self.events.borrow().to_vec()
     }
 
-    /// Resets every counter, timer, histogram, and event to zero.
+    /// A deterministic snapshot of the recorded span tree.
+    pub fn span_tree(&self) -> SpanTree {
+        self.spans.borrow().snapshot()
+    }
+
+    /// Resets every counter, timer, histogram, event, and span to zero.
     pub fn reset(&self) {
         for c in &self.counters {
             c.set(0);
@@ -97,6 +105,7 @@ impl LocalRecorder {
             *h = Histogram::new();
         }
         self.events.borrow_mut().clear();
+        self.spans.borrow_mut().clear();
     }
 
     /// Folds this recorder's totals into another recorder — sums for
@@ -105,6 +114,15 @@ impl LocalRecorder {
     /// loop's local tallies to the caller's sink once, at the loop
     /// boundary.
     pub fn merge_into<R: Recorder>(&self, target: &R) {
+        self.merge_into_under(target, None);
+    }
+
+    /// Like [`LocalRecorder::merge_into`], but grafts this recorder's
+    /// *root* spans under an existing span of the target (`None` keeps
+    /// them as roots). This is how a search-local span subtree ends up
+    /// below the caller's `detect` span, and how per-worker subtrees land
+    /// under one stable `rra-outer` node regardless of thread count.
+    pub fn merge_into_under<R: Recorder>(&self, target: &R, under: Option<SpanId>) {
         for c in Counter::ALL {
             let v = self.counter(c);
             if v == 0 {
@@ -122,6 +140,7 @@ impl LocalRecorder {
                 target.record_duration(s, nanos);
             }
         }
+        target.merge_spans(&self.spans.borrow(), under);
         if target.detailed() {
             let histograms = self.histograms.borrow();
             for m in Metric::ALL {
@@ -145,6 +164,7 @@ impl LocalRecorder {
             stage_nanos: std::array::from_fn(|i| self.stages[i].get()),
             counters: std::array::from_fn(|i| self.counters[i].get()),
             histograms: std::array::from_fn(|i| histograms[i].clone()),
+            spans: self.span_tree(),
         }
     }
 }
@@ -197,6 +217,21 @@ impl Recorder for LocalRecorder {
         if self.detailed {
             self.histograms.borrow_mut()[metric.index()].merge(histogram);
         }
+    }
+
+    #[inline]
+    fn span_id(&self, parent: Option<SpanId>, stage: Stage) -> Option<SpanId> {
+        Some(self.spans.borrow_mut().span_id(parent, stage))
+    }
+
+    #[inline]
+    fn record_span(&self, id: SpanId, nanos: u64, count: u64) {
+        self.spans.borrow_mut().record(id, nanos, count);
+    }
+
+    #[inline]
+    fn merge_spans(&self, spans: &SpanSet, under: Option<SpanId>) {
+        self.spans.borrow_mut().merge_from(spans, under);
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::histogram::Histogram;
+use crate::span::{SpanId, SpanSet};
 use crate::stage::{Counter, Metric, Stage};
 use std::time::Instant;
 
@@ -53,6 +54,36 @@ pub trait Recorder {
     /// (used when a loop-local recorder publishes to a caller's sink).
     fn record_histogram(&self, metric: Metric, histogram: &Histogram);
 
+    /// Finds or creates the span-tree node for `stage` under `parent`
+    /// (`None` = a root span) and returns its handle, or `None` when this
+    /// recorder does not track spans. Nodes are keyed by
+    /// `(parent, stage)`, so asking twice returns the same node and
+    /// repeated timings accumulate — the tree's shape depends only on the
+    /// code path taken, never on iteration counts or thread schedules.
+    #[inline]
+    fn span_id(&self, parent: Option<SpanId>, stage: Stage) -> Option<SpanId> {
+        let _ = (parent, stage);
+        None
+    }
+
+    /// Accumulates `nanos` of wall-clock time and `count` completions
+    /// into a span node previously issued by [`Recorder::span_id`].
+    /// [`SpanTimer`](crate::SpanTimer) passes `count = 1` per finish;
+    /// merges pass a whole node's tally at once.
+    #[inline]
+    fn record_span(&self, id: SpanId, nanos: u64, count: u64) {
+        let _ = (id, nanos, count);
+    }
+
+    /// Grafts a whole [`SpanSet`] into this recorder's span tree,
+    /// attaching the set's roots under `under` (`None` keeps them roots).
+    /// Used when a loop-local recorder publishes its subtree to the
+    /// caller's sink at the loop boundary.
+    #[inline]
+    fn merge_spans(&self, spans: &SpanSet, under: Option<SpanId>) {
+        let _ = (spans, under);
+    }
+
     /// Adds 1 to a counter.
     #[inline]
     fn incr(&self, counter: Counter) {
@@ -100,6 +131,21 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn record_histogram(&self, metric: Metric, histogram: &Histogram) {
         (**self).record_histogram(metric, histogram);
     }
+
+    #[inline]
+    fn span_id(&self, parent: Option<SpanId>, stage: Stage) -> Option<SpanId> {
+        (**self).span_id(parent, stage)
+    }
+
+    #[inline]
+    fn record_span(&self, id: SpanId, nanos: u64, count: u64) {
+        (**self).record_span(id, nanos, count);
+    }
+
+    #[inline]
+    fn merge_spans(&self, spans: &SpanSet, under: Option<SpanId>) {
+        (**self).merge_spans(spans, under);
+    }
 }
 
 /// The default recorder: discards everything, compiles to nothing.
@@ -134,6 +180,17 @@ impl Recorder for NoopRecorder {
 
     #[inline(always)]
     fn record_histogram(&self, _metric: Metric, _histogram: &Histogram) {}
+
+    #[inline(always)]
+    fn span_id(&self, _parent: Option<SpanId>, _stage: Stage) -> Option<SpanId> {
+        None
+    }
+
+    #[inline(always)]
+    fn record_span(&self, _id: SpanId, _nanos: u64, _count: u64) {}
+
+    #[inline(always)]
+    fn merge_spans(&self, _spans: &SpanSet, _under: Option<SpanId>) {}
 }
 
 /// Runs `f`, attributing its wall-clock time to `stage`.
@@ -169,6 +226,7 @@ mod tests {
         rec.record_value(crate::Metric::CandidateLen, 7);
         rec.record_event(crate::Event::new(crate::EventKind::Visited));
         rec.record_histogram(crate::Metric::AbandonPos, &crate::Histogram::new());
+        assert_eq!(rec.span_id(None, Stage::Detect), None);
         let out = time_stage(&rec, Stage::Induce, || 42);
         assert_eq!(out, 42);
     }

@@ -8,6 +8,8 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Stage {
+    /// A whole detector run (the root every other stage nests under).
+    Detect,
     /// SAX sliding-window discretization + numerosity reduction.
     Discretize,
     /// Word interning (SAX word → dense token id).
@@ -24,10 +26,11 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (array dimension for recorders).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Detect,
         Stage::Discretize,
         Stage::Intern,
         Stage::Induce,
@@ -45,6 +48,7 @@ impl Stage {
     /// The stable machine-readable name (used as the JSONL key).
     pub const fn name(self) -> &'static str {
         match self {
+            Stage::Detect => "detect",
             Stage::Discretize => "discretize",
             Stage::Intern => "intern",
             Stage::Induce => "induce",
@@ -59,8 +63,18 @@ impl Stage {
     /// indented in the table rendering.
     pub const fn nested_under(self) -> Option<Stage> {
         match self {
+            Stage::Detect => None,
             Stage::RraInner => Some(Stage::RraOuter),
-            _ => None,
+            _ => Some(Stage::Detect),
+        }
+    }
+
+    /// Nesting depth implied by [`Stage::nested_under`]: 0 for the root,
+    /// 1 for pipeline phases, 2 for [`Stage::RraInner`].
+    pub const fn depth(self) -> usize {
+        match self.nested_under() {
+            None => 0,
+            Some(parent) => 1 + parent.depth(),
         }
     }
 }
@@ -227,6 +241,10 @@ mod tests {
     #[test]
     fn nesting() {
         assert_eq!(Stage::RraInner.nested_under(), Some(Stage::RraOuter));
-        assert_eq!(Stage::RraOuter.nested_under(), None);
+        assert_eq!(Stage::RraOuter.nested_under(), Some(Stage::Detect));
+        assert_eq!(Stage::Detect.nested_under(), None);
+        assert_eq!(Stage::Detect.depth(), 0);
+        assert_eq!(Stage::Density.depth(), 1);
+        assert_eq!(Stage::RraInner.depth(), 2);
     }
 }

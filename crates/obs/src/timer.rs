@@ -15,7 +15,12 @@
 //!   histograms, so the distance kernel's uninstrumented path never reads
 //!   the clock.
 
+//! - [`SpanTimer`] — a [`StageTimer`] that additionally lands the
+//!   measurement on a node of the recorder's span tree, so one finish
+//!   feeds both the flat per-stage sums and the hierarchical view.
+
 use crate::recorder::Recorder;
+use crate::span::SpanId;
 use crate::stage::{Metric, Stage};
 use std::time::Instant;
 
@@ -60,6 +65,105 @@ impl StageTimer {
     pub fn finish<R: Recorder>(self, recorder: &R) {
         if let Some(t0) = self.started {
             recorder.record_duration(self.stage, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A span-aware stage measurement: like [`StageTimer`], but the elapsed
+/// time also lands on a node of the recorder's span tree, so one finish
+/// feeds both the flat per-stage sums and the hierarchical view.
+///
+/// The span node is resolved (find-or-create) at start so deep loops can
+/// pre-resolve once with [`Recorder::span_id`] and use
+/// [`SpanTimer::start_at`] per iteration without re-walking the tree.
+#[derive(Debug)]
+#[must_use = "a started SpanTimer should be finished into a recorder"]
+pub struct SpanTimer {
+    stage: Stage,
+    span: Option<SpanId>,
+    started: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Starts timing `stage` as a child of `parent` if `recorder` is
+    /// enabled.
+    #[inline]
+    pub fn start<R: Recorder>(recorder: &R, parent: Option<SpanId>, stage: Stage) -> Self {
+        Self::start_if(recorder.enabled(), recorder, parent, stage)
+    }
+
+    /// Starts timing if `armed`, resolving the span node on `recorder` —
+    /// which may be a different sink than the gate, preserving the RRA
+    /// pattern of gating on the caller's recorder while recording into a
+    /// search-local one.
+    #[inline]
+    pub fn start_if<R: Recorder>(
+        armed: bool,
+        recorder: &R,
+        parent: Option<SpanId>,
+        stage: Stage,
+    ) -> Self {
+        if armed {
+            SpanTimer {
+                stage,
+                span: recorder.span_id(parent, stage),
+                started: Some(Instant::now()),
+            }
+        } else {
+            SpanTimer {
+                stage,
+                span: None,
+                started: None,
+            }
+        }
+    }
+
+    /// Starts timing against a pre-resolved span node if `armed` — for
+    /// per-iteration timers whose node was resolved once outside the
+    /// loop.
+    #[inline]
+    pub fn start_at(armed: bool, span: Option<SpanId>, stage: Stage) -> Self {
+        SpanTimer {
+            stage,
+            span,
+            started: armed.then(Instant::now),
+        }
+    }
+
+    /// The span node this timer will record into (`None` when unarmed or
+    /// the recorder does not track spans).
+    #[inline]
+    pub fn span(&self) -> Option<SpanId> {
+        self.span
+    }
+
+    /// Whether this timer is actually measuring.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Records the elapsed nanoseconds into `recorder`, on both the flat
+    /// stage accumulator and the span node; a no-op when unarmed.
+    #[inline]
+    pub fn finish<R: Recorder>(self, recorder: &R) {
+        if let Some(t0) = self.started {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            recorder.record_duration(self.stage, nanos);
+            if let Some(id) = self.span {
+                recorder.record_span(id, nanos, 1);
+            }
+        }
+    }
+
+    /// Records the elapsed nanoseconds into the span node *only*, leaving
+    /// the flat stage accumulator untouched — for wrapping a callee that
+    /// already times the flat stage itself (e.g. the SAX discretizer),
+    /// where a plain [`SpanTimer::finish`] would double-count it.
+    #[inline]
+    pub fn finish_span_only<R: Recorder>(self, recorder: &R) {
+        if let (Some(t0), Some(id)) = (self.started, self.span) {
+            recorder.record_span(id, t0.elapsed().as_nanos() as u64, 1);
         }
     }
 }
@@ -135,6 +239,44 @@ mod tests {
         t.finish(&local);
         assert!(local.stage_nanos(Stage::RraInner) > 0);
         assert_eq!(gate.stage_nanos(Stage::RraInner), 0);
+    }
+
+    #[test]
+    fn span_timer_lands_on_stage_and_span() {
+        let rec = LocalRecorder::new();
+        let root = SpanTimer::start(&rec, None, Stage::Detect);
+        let parent = root.span();
+        assert!(parent.is_some());
+        let child = SpanTimer::start(&rec, parent, Stage::Density);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        child.finish(&rec);
+        root.finish(&rec);
+        assert!(rec.stage_nanos(Stage::Detect) > 0);
+        assert!(rec.stage_nanos(Stage::Density) > 0);
+        let tree = rec.span_tree();
+        assert_eq!(tree.get("detect").unwrap().count, 1);
+        let child = tree.get("detect;density").unwrap();
+        assert_eq!(child.count, 1);
+        assert!(child.total_ns > 0);
+    }
+
+    #[test]
+    fn span_timer_noop_when_disabled() {
+        let t = SpanTimer::start(&NoopRecorder, None, Stage::Detect);
+        assert!(!t.armed());
+        assert_eq!(t.span(), None);
+        t.finish(&NoopRecorder);
+    }
+
+    #[test]
+    fn span_timer_start_at_uses_preresolved_node() {
+        let rec = LocalRecorder::new();
+        let outer = rec.span_id(None, Stage::RraOuter);
+        let inner = rec.span_id(outer, Stage::RraInner);
+        for _ in 0..3 {
+            SpanTimer::start_at(true, inner, Stage::RraInner).finish(&rec);
+        }
+        assert_eq!(rec.span_tree().get("rra-outer;rra-inner").unwrap().count, 3);
     }
 
     #[test]

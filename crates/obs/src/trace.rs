@@ -2,6 +2,7 @@
 //! hand-rolled JSONL encoding and a text table rendering.
 
 use crate::histogram::Histogram;
+use crate::span::SpanTree;
 use crate::stage::{Counter, Metric, Stage};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -11,8 +12,10 @@ use std::path::Path;
 /// lines and [`Event`](crate::Event) lines alike). Bump it whenever the
 /// record shape changes so `BENCH_*.json` trajectory files stay comparable
 /// across PRs: 1 = PR-1 counters-only records, 2 = adds `schema` itself
-/// plus the `histograms` object and event records.
-pub const SCHEMA_VERSION: u64 = 2;
+/// plus the `histograms` object and event records, 3 = adds the `spans`
+/// array (hierarchical span tree with derived self-time), the `detect`
+/// root stage, and the bench harness's run-history records.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Everything one instrumented run measured: per-stage wall-clock time,
 /// the hot-path counters, and the value histograms, plus a free-form label
@@ -34,6 +37,8 @@ pub struct PipelineTrace {
     pub counters: [u64; Counter::COUNT],
     /// Value histograms, indexed by [`Metric::index`].
     pub histograms: [Histogram; Metric::COUNT],
+    /// The hierarchical span tree (empty when the run recorded no spans).
+    pub spans: SpanTree,
 }
 
 impl PipelineTrace {
@@ -45,6 +50,7 @@ impl PipelineTrace {
             stage_nanos: [0; Stage::COUNT],
             counters: [0; Counter::COUNT],
             histograms: std::array::from_fn(|_| Histogram::new()),
+            spans: SpanTree::default(),
         }
     }
 
@@ -70,12 +76,19 @@ impl PipelineTrace {
         &self.histograms[metric.index()]
     }
 
-    /// Total measured wall-clock time: the sum over non-nested stages
-    /// (nested stages already count inside their parent).
+    /// Total measured wall-clock time. When the run opened a
+    /// [`Stage::Detect`] root that *is* the total; otherwise (older call
+    /// sites that time phases without a root) the depth-1 phase stages
+    /// are summed — nested stages already count inside their parent
+    /// either way.
     pub fn total_nanos(&self) -> u64 {
+        let detect = self.stage_nanos(Stage::Detect);
+        if detect > 0 {
+            return detect;
+        }
         Stage::ALL
             .iter()
-            .filter(|s| s.nested_under().is_none())
+            .filter(|s| s.depth() == 1)
             .map(|s| self.stage_nanos(*s))
             .sum()
     }
@@ -99,13 +112,15 @@ impl PipelineTrace {
 
     /// Encodes the trace as one JSON line (no trailing newline).
     ///
-    /// Schema 2: `{"schema": 2, "label": str, "params": {name: int, ...},
+    /// Schema 3: `{"schema": 3, "label": str, "params": {name: int, ...},
     /// "stages_ns": {stage: int, ...}, "counters": {counter: int, ...},
     /// "histograms": {metric: {"count","mean","p50","p90","p99","max"}, ...},
-    /// "derived": {"total_ns": int, "nr_drop_ratio": float,
-    /// "early_abandon_ratio": float}}` — every stage, counter, and metric
-    /// key is always present so downstream tooling never needs missing-key
-    /// logic.
+    /// "spans": [{"path": str, "total_ns": int, "self_ns": int,
+    /// "count": int}, ...], "derived": {"total_ns": int,
+    /// "nr_drop_ratio": float, "early_abandon_ratio": float}}` — every
+    /// stage, counter, and metric key is always present so downstream
+    /// tooling never needs missing-key logic; `spans` is depth-first in
+    /// deterministic stage order and may be empty.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(1024);
         let _ = write!(out, "{{\"schema\":{SCHEMA_VERSION},\"label\":");
@@ -144,9 +159,11 @@ impl PipelineTrace {
                 self.histogram(*metric).summary_json()
             );
         }
+        out.push_str("},\"spans\":");
+        out.push_str(&self.spans.to_json_array());
         let _ = write!(
             out,
-            "}},\"derived\":{{\"total_ns\":{},\"nr_drop_ratio\":{},\"early_abandon_ratio\":{}}}}}",
+            ",\"derived\":{{\"total_ns\":{},\"nr_drop_ratio\":{},\"early_abandon_ratio\":{}}}}}",
             self.total_nanos(),
             format_json_f64(self.nr_drop_ratio()),
             format_json_f64(self.early_abandon_ratio()),
@@ -182,13 +199,12 @@ impl PipelineTrace {
         let _ = writeln!(out, "  {:-<14} {:->10} {:->7}", "", "", "");
         for stage in Stage::ALL {
             let nanos = self.stage_nanos(stage);
-            let nested = stage.nested_under().is_some();
-            let name = if nested {
-                format!("  {}", stage.name())
-            } else {
-                stage.name().to_string()
-            };
-            let share = if nested || total == 0 {
+            if stage == Stage::Detect && nanos == 0 {
+                continue; // run predates the root stage; don't show a 0 row
+            }
+            let depth = stage.depth();
+            let name = format!("{}{}", "  ".repeat(depth), stage.name());
+            let share = if depth > 1 || total == 0 {
                 "-".to_string()
             } else {
                 format!("{:.1}%", 100.0 * nanos as f64 / total as f64)
@@ -230,6 +246,25 @@ impl PipelineTrace {
             "early_abandon_ratio",
             100.0 * self.early_abandon_ratio()
         );
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "  spans");
+            let _ = writeln!(
+                out,
+                "    {:<30} {:>10} {:>10} {:>8}",
+                "span", "total", "self", "count"
+            );
+            for span in self.spans.spans() {
+                let indented = format!("{}{}", "  ".repeat(span.depth), span.stage.name());
+                let _ = writeln!(
+                    out,
+                    "    {:<30} {:>10} {:>10} {:>8}",
+                    indented,
+                    format_nanos(span.total_ns),
+                    format_nanos(span.self_ns),
+                    group_thousands(span.count)
+                );
+            }
+        }
         if Metric::ALL.iter().any(|m| !self.histogram(*m).is_empty()) {
             let _ = writeln!(out, "  histograms");
             let _ = writeln!(
@@ -389,9 +424,10 @@ mod tests {
                 metric.name()
             );
         }
-        assert!(json.starts_with("{\"schema\":2,"));
+        assert!(json.starts_with("{\"schema\":3,"));
         assert!(json.ends_with('}'));
         assert!(!json.contains('\n'));
+        assert!(json.contains("\"spans\":[]"));
         assert!(json.contains("\"window\":100"));
         assert!(json.contains("\"total_ns\":7000000"));
         assert!(json.contains("\"nr_drop_ratio\":0.4"));
@@ -411,6 +447,11 @@ mod tests {
     fn table_mentions_every_stage_and_counter() {
         let table = sample().render_table();
         for stage in Stage::ALL {
+            if stage == Stage::Detect {
+                // No detect root in the sample, so its 0 row is hidden.
+                assert!(!table.contains(stage.name()), "{}", stage.name());
+                continue;
+            }
             assert!(table.contains(stage.name()), "{}", stage.name());
         }
         for counter in Counter::ALL {

@@ -72,7 +72,7 @@ fn main() {
         None => println!("\nno alert raised — unexpected for this stream"),
     }
 
-    // The periodic metric trajectory: one schema-2 JSONL record per flush
+    // The periodic metric trajectory: one schema-versioned JSONL record per flush
     // (the CLI equivalent is `gv stream --metrics-every N --metrics PATH`).
     println!(
         "\nmetric trajectory ({} snapshots):",

@@ -130,6 +130,47 @@ fn event_ledger_balances_under_parallel_search() {
     }
 }
 
+/// The span-tree determinism contract: every worker's rra-inner span is
+/// grafted under the same `(parent, stage)` key at merge time, so the
+/// exported tree — paths, depths, and span counts — is bit-identical for
+/// any thread count. (Nanos are wall-clock and machine-dependent;
+/// `distance_calls`-style counters are covered above. Span *counts* are
+/// thread-invariant because each candidate is scanned exactly once.)
+#[test]
+fn span_tree_is_identical_across_thread_counts() {
+    let v = planted_series();
+    let config = PipelineConfig::new(100, 5, 4).unwrap();
+    let tree_shape = |threads: usize| -> Vec<(String, usize, u64)> {
+        let recorder = CollectingRecorder::new();
+        let detector = RraDetector::new(config.clone(), 3)
+            .with_engine(EngineConfig::sequential().with_threads(threads));
+        detector
+            .detect(&SeriesView::new(&v), &mut Workspace::new(), &recorder)
+            .unwrap();
+        recorder
+            .snapshot("span-shape")
+            .spans
+            .spans()
+            .iter()
+            .map(|s| (s.path.clone(), s.depth, s.count))
+            .collect()
+    };
+    let sequential = tree_shape(1);
+    assert!(
+        sequential.iter().any(|(p, _, _)| p == "detect"),
+        "{sequential:?}"
+    );
+    assert!(
+        sequential
+            .iter()
+            .any(|(p, _, _)| p == "detect;rra-outer;rra-inner"),
+        "{sequential:?}"
+    );
+    for threads in [2, 4, 8] {
+        assert_eq!(tree_shape(threads), sequential, "threads={threads}");
+    }
+}
+
 #[test]
 fn workspace_capacities_freeze_after_warmup() {
     let v = planted_series();
