@@ -18,23 +18,27 @@
 use serde::Value;
 
 /// The record shapes the pipeline exports, keyed by how they self-identify.
+/// Typed records (`"type":...`) are classified first; only untyped records
+/// carrying a `label` are treated as `PipelineTrace` exports — ledger
+/// records also carry a `label`, but self-identify via their type.
 fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
-    if record.field("label").is_ok() {
-        // A `PipelineTrace` (CLI `--metrics`, stream snapshots, BENCH traces).
-        return Ok(&[
-            "schema",
-            "label",
-            "params",
-            "stages_ns",
-            "spans",
-            "counters",
-            "histograms",
-            "derived",
-        ]);
-    }
     let kind = match record.field("type") {
         Ok(Value::Str(s)) => s.as_str(),
-        _ => return Err("record has neither \"label\" nor a string \"type\"".to_string()),
+        Ok(_) => return Err("\"type\" is not a string".to_string()),
+        Err(_) if record.field("label").is_ok() => {
+            // A `PipelineTrace` (CLI `--metrics`, stream snapshots, BENCH traces).
+            return Ok(&[
+                "schema",
+                "label",
+                "params",
+                "stages_ns",
+                "spans",
+                "counters",
+                "histograms",
+                "derived",
+            ]);
+        }
+        Err(_) => return Err("record has neither \"label\" nor a string \"type\"".to_string()),
     };
     match kind {
         "event" => Ok(&[
@@ -75,6 +79,32 @@ fn required_keys(record: &Value) -> Result<&'static [&'static str], String> {
             "events_dropped",
             "distance_ns",
             "abandon_pos",
+        ]),
+        // Schema-4 live-monitoring records (`gv monitor`, run ledger).
+        "window" => Ok(&[
+            "schema",
+            "seq",
+            "start",
+            "end",
+            "points",
+            "wall_ns",
+            "counters",
+            "discords",
+            "latency_ns",
+            "span_shares",
+            "derived",
+        ]),
+        "health" => Ok(&["schema", "seq", "verdict", "rules"]),
+        "ledger" => Ok(&[
+            "schema",
+            "label",
+            "git_sha",
+            "config_fp",
+            "input_digest",
+            "points",
+            "wall_ns",
+            "k",
+            "result_digest",
         ]),
         other => Err(format!("unknown record type {other:?}")),
     }
@@ -156,6 +186,32 @@ mod tests {
             counters: vec![("distance_calls".to_string(), 7)],
         };
         validate_line(&record.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn accepts_monitoring_records() {
+        use gva_core::obs::{
+            HealthEngine, HealthRule, LedgerRecord, PipelineTrace, WindowedAggregator,
+        };
+        let mut agg = WindowedAggregator::new();
+        let window = agg
+            .observe(&PipelineTrace::new("stream"), 100, 0, 0)
+            .clone();
+        validate_line(&window.to_jsonl()).unwrap();
+        let mut engine = HealthEngine::new(vec![HealthRule::MaxDiscordRate(0.1)]);
+        let (report, _) = engine.evaluate(&window);
+        validate_line(&report.to_jsonl()).unwrap();
+        let ledger = LedgerRecord {
+            label: "monitor".to_string(),
+            git_sha: "deadbee".to_string(),
+            config_fp: 1,
+            input_digest: 2,
+            points: 100,
+            wall_ns: 0,
+            k: 0,
+            result_digest: 3,
+        };
+        validate_line(&ledger.to_jsonl()).unwrap();
     }
 
     #[test]

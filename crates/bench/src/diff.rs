@@ -44,14 +44,36 @@ pub struct Regression {
     pub after: u64,
     /// `after / before`.
     pub ratio: f64,
+    /// The relative threshold this metric class is gated on.
+    pub ratio_gate: f64,
+    /// The absolute-delta floor this metric class is gated on.
+    pub floor: u64,
+}
+
+impl Regression {
+    /// `after - before` — the absolute worsening.
+    pub fn delta(&self) -> u64 {
+        self.after.saturating_sub(self.before)
+    }
 }
 
 impl std::fmt::Display for Regression {
+    /// One actionable CI log line: workload, metric (span paths carry the
+    /// stage), observed vs. baseline, and the observed ratio/delta against
+    /// *both* gates — a regression only flags when the two trip together,
+    /// so both are shown.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{}: {} -> {} ({:.2}x)",
-            self.workload, self.metric, self.before, self.after, self.ratio
+            "{}/{}: baseline {} -> observed {} (ratio {:.2}x >= {:.2}x gate; delta +{} >= +{} floor)",
+            self.workload,
+            self.metric,
+            self.before,
+            self.after,
+            self.ratio,
+            self.ratio_gate,
+            self.delta(),
+            self.floor
         )
     }
 }
@@ -123,6 +145,8 @@ pub fn diff_pair(prev: &BenchRecord, cur: &BenchRecord) -> Vec<Regression> {
                 before,
                 after,
                 ratio,
+                ratio_gate,
+                floor,
             });
         }
     };
@@ -220,6 +244,42 @@ mod tests {
         assert_eq!(r.metric, "wall_ns");
         assert!(r.ratio > 2.0);
         assert!(r.to_string().contains("standard/wall_ns"), "{r}");
+    }
+
+    #[test]
+    fn display_names_workload_values_and_both_gates() {
+        // Satellite: a CI log line must be actionable without a local
+        // re-run — workload, stage, observed vs. baseline, and which
+        // thresholds tripped (always both: they are AND-ed).
+        let h = [
+            record(0, 10_000_000, 8_000_000, 50_000),
+            record(1, 21_000_000, 17_000_000, 60_000),
+        ];
+        let report = diff_history(&h).unwrap();
+        assert_eq!(report.regressions.len(), 3);
+        let lines: Vec<String> = report.regressions.iter().map(|r| r.to_string()).collect();
+        // Wall: observed vs. baseline plus the 1.5x gate and 1 ms floor.
+        assert!(lines[0].contains("standard/wall_ns"), "{}", lines[0]);
+        assert!(lines[0].contains("baseline 10000000"), "{}", lines[0]);
+        assert!(lines[0].contains("observed 21000000"), "{}", lines[0]);
+        assert!(lines[0].contains("2.10x >= 1.50x gate"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("+11000000 >= +1000000 floor"),
+            "{}",
+            lines[0]
+        );
+        // Span: the metric name carries the stage path; span gates shown.
+        assert!(lines[1].contains("standard/span:detect"), "{}", lines[1]);
+        assert!(lines[1].contains(">= 1.75x gate"), "{}", lines[1]);
+        // Counter: counter gates shown.
+        assert!(
+            lines[2].contains("standard/counter:distance_calls"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[2].contains(">= 1.10x gate"), "{}", lines[2]);
+        assert!(lines[2].contains("+10000 >= +1000 floor"), "{}", lines[2]);
+        assert_eq!(report.regressions[0].delta(), 11_000_000);
     }
 
     #[test]

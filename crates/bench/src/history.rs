@@ -152,16 +152,10 @@ fn u64_map_field(v: &Value, key: &str) -> Result<Vec<(String, u64)>, String> {
 
 /// The short SHA of the current git HEAD, or `"unknown"` when git or the
 /// repository is unavailable (the harness must work from a tarball too).
+/// Delegates to [`gv_obs::git_sha`] — the run ledger stamps the same
+/// identity, and the two must never disagree.
 pub fn git_sha() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    gv_obs::git_sha()
 }
 
 /// Loads every bench record from a history file, in file order.

@@ -126,7 +126,7 @@ mod tests {
         assert_eq!(body.lines().count(), 2);
         assert!(body
             .lines()
-            .all(|l| l.starts_with("{\"schema\":3,\"label\":")));
+            .all(|l| l.starts_with("{\"schema\":4,\"label\":")));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use gv_discord::DiscordRecord;
 use gv_obs::NoopRecorder;
 use gva_core::{

@@ -24,7 +24,15 @@ commands:
   dot       write the grammar hierarchy as GraphViz DOT (--out FILE)
   export    write the series and its rule-density curve as CSV
   stream    replay a file through the online detector (early detection)
-  check     verify the paper invariants on a series (PASS/FAIL report)
+  monitor   drive the online detector emitting per-interval `window` JSONL
+            aggregates and SLO `health` verdicts (--interval N points,
+            --rules FILE loads `key = value` SLO thresholds, --out PATH
+            appends JSONL instead of stdout, --fail-on-breach exits
+            non-zero on a breached verdict, --timing adds wall-clock
+            fields at the cost of run-to-run determinism, --file - reads
+            stdin)
+  check     verify the paper invariants on a series (PASS/FAIL report),
+            or scan a run ledger for result drift (--ledger PATH)
   lint      check the workspace source against the project's contracts
             (determinism, hot-path allocation, error handling; --root DIR)
   demo      run density + RRA on a built-in synthetic dataset
@@ -55,6 +63,10 @@ common options:
                      bit-identical for any thread count
   --dataset NAME     demo dataset: ecg0606 | power | video | tek14 | tek16 |
                      tek17 | nprs43 | nprs44 | commute
+  --ledger PATH      append one run-provenance record (config fingerprint,
+                     input digest, git SHA, result digest) to an
+                     append-only JSONL ledger (density/rra/monitor);
+                     `gv check --ledger PATH` scans it for result drift
 
 unknown options are rejected per subcommand, with a nearest-flag hint";
 
@@ -67,10 +79,11 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
     match command {
         "density" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "width", "trace", "metrics",
+            "ledger",
         ]),
         "rra" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "width", "trace", "metrics",
-            "events", "threads",
+            "events", "threads", "ledger",
         ]),
         "explain" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "trace", "metrics", "events",
@@ -93,9 +106,25 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "metrics-every",
             "metrics",
         ]),
+        "monitor" => Some(&[
+            "file",
+            "column",
+            "window",
+            "paa",
+            "alphabet",
+            "threshold",
+            "maturity",
+            "interval",
+            "rules",
+            "out",
+            "ledger",
+            "label",
+            "fail-on-breach",
+            "timing",
+        ]),
         "lint" => Some(&["root"]),
         "check" => Some(&[
-            "file", "column", "window", "paa", "alphabet", "top", "threads",
+            "file", "column", "window", "paa", "alphabet", "top", "threads", "ledger",
         ]),
         "demo" => Some(&["dataset", "top", "width", "trace", "metrics", "threads"]),
         "bench" => Some(&["workload", "reps", "history", "collapsed"]),
@@ -121,6 +150,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("dot") => dot(&args),
         Some("export") => export(&args),
         Some("stream") => stream(&args),
+        Some("monitor") => monitor(&args),
         Some("check") => check(&args),
         Some("lint") => lint(&args),
         Some("demo") => demo(&args),
@@ -195,10 +225,71 @@ fn pipeline_trace(
         .with_param("top", k as u64)
 }
 
+/// The ledger fingerprint parameters shared by the batch detectors.
+fn pipeline_params(p: &AnomalyPipeline, k: usize) -> [u64; 4] {
+    [
+        p.config().window() as u64,
+        p.config().paa() as u64,
+        p.config().alphabet() as u64,
+        k as u64,
+    ]
+}
+
 fn load_series(args: &Args) -> Result<TimeSeries, String> {
     let path = args.required("file")?;
     let col = args.usize_or("column", 0)?;
+    if path == "-" {
+        let stdin = std::io::stdin();
+        return gv_timeseries::read_csv_column_reader(stdin.lock(), col)
+            .map(|s| TimeSeries::named("stdin", s.values().to_vec()))
+            .map_err(|e| format!("stdin: {e}"));
+    }
     read_csv_column(path, col).map_err(|e| e.to_string())
+}
+
+/// Appends one run-provenance record to the `--ledger` file: the config
+/// fingerprint, a bit-exact input digest, the producing git SHA, and a
+/// digest over the ranked results — the raw material `gv check --ledger`
+/// scans for cross-run result drift.
+fn append_run_ledger(
+    path: &str,
+    label: &str,
+    params: &[u64],
+    series: &TimeSeries,
+    results: impl Iterator<Item = (Interval, f64)>,
+    wall_ns: u64,
+) -> Result<(), String> {
+    use gva_core::obs::{digest_series, git_sha, Fingerprint, LedgerRecord};
+    let mut config_fp = Fingerprint::new();
+    config_fp.write_str(label);
+    for &p in params {
+        config_fp.write_u64(p);
+    }
+    let mut result_fp = Fingerprint::new();
+    let mut k = 0u64;
+    for (interval, score) in results {
+        result_fp
+            .write_u64(interval.start as u64)
+            .write_u64(interval.len() as u64)
+            .write_f64(score);
+        k += 1;
+    }
+    result_fp.write_u64(k);
+    let record = LedgerRecord {
+        label: label.to_string(),
+        git_sha: git_sha(),
+        config_fp: config_fp.finish(),
+        input_digest: digest_series(series.values()),
+        points: series.len() as u64,
+        wall_ns,
+        k,
+        result_digest: result_fp.finish(),
+    };
+    record
+        .append(std::path::Path::new(path))
+        .map_err(|e| format!("--ledger {path}: {e}"))?;
+    warn(format_args!("appended ledger record ({label}) to {path}"));
+    Ok(())
 }
 
 /// `--window` if given; otherwise the autocorrelation-based suggestion
@@ -249,6 +340,9 @@ fn density(args: &Args) -> Result<(), String> {
     let k = args.usize_or("top", 3)?;
     let width = args.usize_or("width", 100)?;
     let recorder = recorder_for(args);
+    let watch = args
+        .get("ledger")
+        .map(|_| gva_core::obs::Stopwatch::start());
     let report = match &recorder {
         Some(rec) => p.density_anomalies_with(series.values(), k, rec),
         None => p.density_anomalies(series.values(), k),
@@ -256,6 +350,19 @@ fn density(args: &Args) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     if let Some(rec) = &recorder {
         emit_trace(args, &pipeline_trace(rec, "density", &p, series.len(), k))?;
+    }
+    if let Some(path) = args.get("ledger") {
+        append_run_ledger(
+            path,
+            "density",
+            &pipeline_params(&p, k),
+            &series,
+            report
+                .anomalies
+                .iter()
+                .map(|a| (a.interval, a.min_density as f64)),
+            watch.map(|w| w.elapsed_ns()).unwrap_or(0),
+        )?;
     }
     println!("series: {} ({} points)", series.name(), series.len());
     println!("signal : {}", viz::sparkline(series.values(), width));
@@ -276,11 +383,24 @@ fn rra(args: &Args) -> Result<(), String> {
     let k = args.usize_or("top", 3)?;
     let width = args.usize_or("width", 100)?;
     let recorder = recorder_for(args);
+    let watch = args
+        .get("ledger")
+        .map(|_| gva_core::obs::Stopwatch::start());
     let report = match &recorder {
         Some(rec) => p.rra_discords_with(series.values(), k, rec),
         None => p.rra_discords(series.values(), k),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("ledger") {
+        append_run_ledger(
+            path,
+            "rra",
+            &pipeline_params(&p, k),
+            &series,
+            report.discords.iter().map(|d| (d.interval(), d.distance)),
+            watch.map(|w| w.elapsed_ns()).unwrap_or(0),
+        )?;
+    }
     if let Some(rec) = &recorder {
         emit_trace(args, &pipeline_trace(rec, "rra", &p, series.len(), k))?;
         if let Some(path) = args.get("events") {
@@ -508,6 +628,10 @@ fn stream(args: &Args) -> Result<(), String> {
         println!("{} alert region(s) in total", reported.len());
     }
     if metrics_every > 0 {
+        // Terminal flush: without it the final partial window (up to
+        // `metrics_every - 1` points) would silently vanish from the
+        // trajectory.
+        det.flush_now();
         let snapshots = det.take_snapshots();
         if let Some(path) = args.get("metrics") {
             let n = append_jsonl_lines(path, snapshots.iter().map(|s| s.to_jsonl()))?;
@@ -522,12 +646,142 @@ fn stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `gv monitor` — live telemetry over the online detector: replays a CSV
+/// (or stdin with `--file -`) through [`gva_core::StreamingDetector`],
+/// flushing a cumulative snapshot every `--interval` points. A
+/// [`WindowedAggregator`](gva_core::obs::WindowedAggregator) differences
+/// consecutive snapshots into per-interval `window` JSONL records; a
+/// [`HealthEngine`](gva_core::obs::HealthEngine) loaded from `--rules`
+/// grades each window and emits a `health` record whenever the overall
+/// verdict changes. Output is deterministic (byte-identical across runs
+/// and thread counts) unless `--timing` enables the wall-clock-derived
+/// fields. `--fail-on-breach` turns a breached verdict into a non-zero
+/// exit — the CI health gate.
+fn monitor(args: &Args) -> Result<(), String> {
+    use gva_core::obs::{HealthEngine, Stopwatch, Verdict, WindowedAggregator};
+    let series = load_series(args)?;
+    let window = window_for(args, &series)?;
+    let paa = args.usize_or("paa", 4)?;
+    let alphabet = args.usize_or("alphabet", 4)?;
+    let threshold = args.usize_or("threshold", 0)? as i64;
+    let maturity = args.usize_or("maturity", window)?;
+    let interval = args.usize_or("interval", (series.len() / 10).max(window))?;
+    if interval == 0 {
+        return Err("--interval must be at least 1".to_string());
+    }
+    let timing = args.flag("timing");
+    let label = args.get("label").unwrap_or("monitor");
+    let mut engine = match args.get("rules") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--rules {path}: {e}"))?;
+            Some(HealthEngine::from_config(&text).map_err(|e| format!("--rules {path}: {e}"))?)
+        }
+        None => None,
+    };
+    if args.flag("fail-on-breach") && engine.is_none() {
+        return Err("--fail-on-breach needs --rules (no SLOs to breach)".to_string());
+    }
+
+    let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
+    let mut det = gva_core::StreamingDetector::new(config);
+    let mut agg = WindowedAggregator::new().with_timing(timing);
+    let watch = timing.then(Stopwatch::start);
+    let mut lines: Vec<String> = Vec::new();
+    let mut reported: Vec<Interval> = Vec::new();
+    let mut breached = false;
+    for (i, v) in series.iter() {
+        det.push(v).map_err(|e| format!("point {}: {e}", i + 1))?;
+        if (i + 1) % interval != 0 && i + 1 != series.len() {
+            continue;
+        }
+        if !det.flush_now() {
+            continue; // end-of-stream landed exactly on an interval boundary
+        }
+        let Some(snapshot) = det.take_snapshots().pop() else {
+            continue;
+        };
+        for alert in det.alerts(threshold, maturity) {
+            if !reported.iter().any(|r| r.overlaps(&alert)) {
+                reported.push(alert);
+            }
+        }
+        let wall_ns = watch.as_ref().map(|w| w.elapsed_ns()).unwrap_or(0);
+        let stats = agg.observe(&snapshot, (i + 1) as u64, reported.len() as u64, wall_ns);
+        lines.push(stats.to_jsonl());
+        if let Some(engine) = engine.as_mut() {
+            let (report, transition) = engine.evaluate(stats);
+            breached |= report.verdict == Verdict::Breached;
+            if transition {
+                lines.push(report.to_jsonl());
+            }
+        }
+    }
+
+    let windows = agg.len() as u64 + agg.evicted();
+    match args.get("out") {
+        Some(path) => {
+            let n = append_jsonl_lines(path, lines)?;
+            warn(format_args!("appended {n} monitoring records to {path}"));
+        }
+        None => {
+            for line in &lines {
+                println!("{line}");
+            }
+        }
+    }
+    if let Some(path) = args.get("ledger") {
+        append_run_ledger(
+            path,
+            label,
+            &[
+                window as u64,
+                paa as u64,
+                alphabet as u64,
+                threshold as u64,
+                maturity as u64,
+                interval as u64,
+            ],
+            &series,
+            reported.iter().map(|iv| (*iv, 0.0)),
+            watch.map(|w| w.elapsed_ns()).unwrap_or(0),
+        )?;
+    }
+    let verdict = engine
+        .as_ref()
+        .and_then(|e| e.last_verdict())
+        .map(|v| v.name())
+        .unwrap_or("unmonitored");
+    warn(format_args!(
+        "{windows} window(s), {} alert region(s), final verdict: {verdict}",
+        reported.len()
+    ));
+    if breached && args.flag("fail-on-breach") {
+        return Err("SLO breached (see health records)".to_string());
+    }
+    Ok(())
+}
+
 /// `gv check`: run every `gv-check` invariant verifier on the series —
 /// Sequitur digram uniqueness / rule utility, R0 reconstruction,
 /// occurrence mapping, density recount, and the RRA-vs-brute-force
 /// differential — and print the PASS/FAIL report. Fails (non-zero exit
 /// through `main`) if any invariant is violated.
 fn check(args: &Args) -> Result<(), String> {
+    // Ledger mode: scan an append-only run ledger for cross-run result
+    // drift (same config + input, different result digest) instead of
+    // verifying a series.
+    if let Some(path) = args.get("ledger") {
+        let report = gv_check::ledger::verify_ledger(std::path::Path::new(path))?;
+        print!("{}", report.render());
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} result-drift issue(s) in {path}",
+                report.issues.len()
+            ))
+        };
+    }
     let series = load_series(args)?;
     let window = window_for(args, &series)?;
     let paa = args.usize_or("paa", 4)?;
@@ -849,7 +1103,7 @@ mod tests {
         assert!(text.contains("\"label\":\"density\""));
         assert!(text.contains("\"label\":\"rra\""));
         assert!(text.lines().all(|l| {
-            l.starts_with("{\"schema\":3,") && l.ends_with('}') && l.contains("\"distance_calls\":")
+            l.starts_with("{\"schema\":4,") && l.ends_with('}') && l.contains("\"distance_calls\":")
         }));
         // explain: provenance table on stdout, full JSONL stream to --events.
         let events = dir.join("events.jsonl");
@@ -866,7 +1120,7 @@ mod tests {
         assert!(text.contains("\"type\":\"explain_summary\""));
         assert!(text
             .lines()
-            .all(|l| l.starts_with("{\"schema\":3,") && l.ends_with('}')));
+            .all(|l| l.starts_with("{\"schema\":4,") && l.ends_with('}')));
         // rra --events appends raw event lines too.
         let rra_events = dir.join("rra_events.jsonl");
         let _ = std::fs::remove_file(&rra_events);
@@ -879,7 +1133,7 @@ mod tests {
         assert!(!text.is_empty());
         assert!(text
             .lines()
-            .all(|l| l.starts_with("{\"schema\":3,\"type\":\"event\"") && l.ends_with('}')));
+            .all(|l| l.starts_with("{\"schema\":4,\"type\":\"event\"") && l.ends_with('}')));
         // stream --metrics-every exports a snapshot trajectory.
         let stream_metrics = dir.join("stream_metrics.jsonl");
         let _ = std::fs::remove_file(&stream_metrics);
@@ -889,16 +1143,190 @@ mod tests {
             stream_metrics.display()
         )))
         .is_ok());
+        // 4 periodic snapshots plus the terminal flush covering the final
+        // partial window (2300 % 500 = 300 points).
         let text = std::fs::read_to_string(&stream_metrics).unwrap();
-        assert_eq!(text.lines().count(), 2300 / 500);
+        assert_eq!(text.lines().count(), 2300 / 500 + 1);
         assert!(text
             .lines()
-            .all(|l| l.starts_with("{\"schema\":3,\"label\":\"stream\"")));
+            .all(|l| l.starts_with("{\"schema\":4,\"label\":\"stream\"")));
+        assert!(text.lines().last().unwrap().contains("\"seen\":2300"));
     }
 
     #[test]
     fn missing_file_reports_error() {
         assert!(run(&argv("density --file /nonexistent.csv --window 10")).is_err());
+    }
+
+    fn fixture(name: &str) -> String {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name)
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn monitor_emits_windows_and_health_transitions() {
+        let dir = std::env::temp_dir().join("gv_cli_monitor_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("monitor.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let base = format!(
+            "monitor --file {} --window 100 --interval 400 --threshold 1 --maturity 400",
+            fixture("monitor_sine.csv")
+        );
+        // Clean SLOs pass even with --fail-on-breach.
+        assert!(run(&argv(&format!(
+            "{base} --rules {} --fail-on-breach --out {}",
+            fixture("slo_clean.conf"),
+            out.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let windows = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"window\""))
+            .count();
+        assert_eq!(windows, 5, "2000 points / 400 interval");
+        // Steady verdict: only the initial health transition is emitted.
+        let health: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"health\""))
+            .collect();
+        assert_eq!(health.len(), 1, "{text}");
+        assert!(health[0].contains("\"verdict\":\"healthy\""));
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":4,") && l.ends_with('}')));
+        // Deterministic mode: no wall-clock-derived fields populated.
+        assert!(text.contains("\"wall_ns\":0"));
+        assert!(text.contains("\"span_shares\":{}"));
+
+        // The tight SLO breaches on the planted anomaly's alert: non-zero
+        // exit under --fail-on-breach, and the health stream records the
+        // healthy -> breached -> healthy transitions.
+        let out2 = dir.join("monitor_breached.jsonl");
+        let _ = std::fs::remove_file(&out2);
+        let breached = format!(
+            "{base} --rules {} --fail-on-breach --out {}",
+            fixture("slo_breached.conf"),
+            out2.display()
+        );
+        let err = run(&argv(&breached)).unwrap_err();
+        assert!(err.contains("SLO breached"), "{err}");
+        let text = std::fs::read_to_string(&out2).unwrap();
+        let verdicts: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"health\""))
+            .collect();
+        assert_eq!(verdicts.len(), 3, "{text}");
+        assert!(verdicts[0].contains("\"verdict\":\"healthy\""));
+        assert!(verdicts[1].contains("\"verdict\":\"breached\""));
+        assert!(verdicts[1].contains("\"rule\":\"max_discord_rate\""));
+        assert!(verdicts[2].contains("\"verdict\":\"healthy\""));
+        // Without --fail-on-breach the same run exits cleanly.
+        assert!(run(&argv(&format!(
+            "{base} --rules {} --out {}",
+            fixture("slo_breached.conf"),
+            out2.display()
+        )))
+        .is_ok());
+    }
+
+    #[test]
+    fn monitor_output_is_deterministic_across_runs() {
+        let dir = std::env::temp_dir().join("gv_cli_monitor_det_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bodies = Vec::new();
+        for run_i in 0..2 {
+            let out = dir.join(format!("det_{run_i}.jsonl"));
+            let _ = std::fs::remove_file(&out);
+            assert!(run(&argv(&format!(
+                "monitor --file {} --window 100 --interval 300 --threshold 1 \
+                 --maturity 400 --out {}",
+                fixture("monitor_sine.csv"),
+                out.display()
+            )))
+            .is_ok());
+            bodies.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(bodies[0], bodies[1]);
+        assert!(!bodies[0].is_empty());
+    }
+
+    #[test]
+    fn monitor_rejects_bad_configs() {
+        let file = format!("--file {}", fixture("monitor_sine.csv"));
+        // --fail-on-breach without rules is a configuration error.
+        let err = run(&argv(&format!(
+            "monitor {file} --window 100 --fail-on-breach"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--fail-on-breach needs --rules"), "{err}");
+        // A rules file with a typo'd key errors up front.
+        let dir = std::env::temp_dir().join("gv_cli_monitor_bad_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.conf");
+        std::fs::write(&bad, "max_latency = 5\n").unwrap();
+        let err = run(&argv(&format!(
+            "monitor {file} --window 100 --rules {}",
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        let err = run(&argv(&format!("monitor {file} --window 100 --interval 0"))).unwrap_err();
+        assert!(err.contains("--interval"), "{err}");
+    }
+
+    #[test]
+    fn ledger_records_flow_into_check() {
+        let data = gv_datasets::ecg::ecg0606(Default::default());
+        let dir = std::env::temp_dir().join("gv_cli_ledger_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ecg.csv");
+        gv_timeseries::write_csv_column(&path, &data.series).unwrap();
+        let ledger = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&ledger);
+        let core = format!(
+            "--file {} --window 120 --paa 4 --alphabet 4 --top 2 --ledger {}",
+            path.display(),
+            ledger.display()
+        );
+        // Two identical rra runs, one density run, one monitor session.
+        assert!(run(&argv(&format!("rra {core}"))).is_ok());
+        assert!(run(&argv(&format!("rra {core}"))).is_ok());
+        assert!(run(&argv(&format!("density {core}"))).is_ok());
+        assert!(run(&argv(&format!(
+            "monitor --file {} --window 100 --interval 500 --threshold 1 \
+             --maturity 400 --out {} --ledger {}",
+            fixture("monitor_sine.csv"),
+            dir.join("mon.jsonl").display(),
+            ledger.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":4,\"type\":\"ledger\"")));
+        assert!(text.contains("\"label\":\"rra\""));
+        assert!(text.contains("\"label\":\"density\""));
+        assert!(text.contains("\"label\":\"monitor\""));
+        // The identical rra runs agree, so the drift scan passes.
+        assert!(run(&argv(&format!("check --ledger {}", ledger.display()))).is_ok());
+        // Forge a drifting record (same config + input, different result
+        // digest): the scan must fail.
+        let rra_line = text
+            .lines()
+            .find(|l| l.contains("\"label\":\"rra\""))
+            .unwrap();
+        let digest_start = rra_line.find("\"result_digest\":").unwrap();
+        let forged = format!("{}\"result_digest\":1}}", &rra_line[..digest_start]);
+        let drifted = dir.join("drifted.jsonl");
+        std::fs::write(&drifted, format!("{text}{forged}\n")).unwrap();
+        let err = run(&argv(&format!("check --ledger {}", drifted.display()))).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
     }
 
     #[test]

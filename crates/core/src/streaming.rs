@@ -62,6 +62,10 @@ pub struct StreamingDetector<R: Recorder = NoopRecorder> {
     recorder: R,
     /// Emit a metrics snapshot every this many points (`0`: never).
     metrics_every: usize,
+    /// Stream length at the last flush — lets
+    /// [`flush_now`](StreamingDetector::flush_now) emit a terminal
+    /// snapshot only when the tail holds unflushed points.
+    last_flush_seen: usize,
     /// The periodic snapshots, oldest first.
     snapshots: Vec<PipelineTrace>,
 }
@@ -91,6 +95,7 @@ impl<R: Recorder> StreamingDetector<R> {
             workspace: Workspace::new(),
             recorder,
             metrics_every: 0,
+            last_flush_seen: 0,
             snapshots: Vec::new(),
         }
     }
@@ -199,17 +204,43 @@ impl<R: Recorder> StreamingDetector<R> {
         Ok(())
     }
 
+    /// Flushes a terminal metrics snapshot covering the tail of the
+    /// stream, if any points arrived since the last periodic flush.
+    /// Without this, a stream whose length is not a multiple of
+    /// `metrics_every` silently drops its final partial window's metrics.
+    /// Returns whether a snapshot was emitted. Callable regardless of the
+    /// `metrics_every` setting — a monitor that never configured periodic
+    /// flushes can still snapshot at end of stream.
+    pub fn flush_now(&mut self) -> bool {
+        if self.seen == 0 || self.seen == self.last_flush_seen {
+            return false;
+        }
+        self.flush_metrics();
+        true
+    }
+
     /// Builds one periodic snapshot from the detector's own state (the
     /// recorder is generic and may be a sink that cannot be read back).
     fn flush_metrics(&mut self) {
         let stats = self.sequitur.stats();
+        let window = self.config.window();
+        let windows_processed = (self.seen + 1).saturating_sub(window) as u64;
+        let words_emitted = self.records.len() as u64;
         let mut trace = PipelineTrace::new("stream")
             .with_param("seen", self.seen as u64)
             .with_param("tokens", self.records.len() as u64)
             .with_param("flush", self.snapshots.len() as u64 + 1);
+        // Cumulative pipeline counters, derived from detector state so the
+        // snapshot is self-contained even with a Noop recorder — this is
+        // what `WindowedAggregator::observe` differences per interval.
+        trace.counters[Counter::WindowsProcessed.index()] = windows_processed;
+        trace.counters[Counter::WordsEmitted.index()] = words_emitted;
+        trace.counters[Counter::WordsDropped.index()] =
+            windows_processed.saturating_sub(words_emitted);
         trace.counters[Counter::RulesCreated.index()] = stats.rules_created;
         trace.counters[Counter::RulesDeleted.index()] = stats.rules_deleted;
         trace.counters[Counter::PeakDigramEntries.index()] = stats.peak_digram_entries;
+        self.last_flush_seen = self.seen;
         self.snapshots.push(trace);
         if self.recorder.detailed() {
             self.recorder.record_event(Event {
@@ -487,7 +518,7 @@ mod tests {
             assert_eq!(snap.label, "stream");
             let seen = snap.params.iter().find(|(k, _)| k == "seen").unwrap().1;
             assert_eq!(seen, 200 * (i as u64 + 1));
-            assert!(snap.to_jsonl().starts_with("{\"schema\":3,"));
+            assert!(snap.to_jsonl().starts_with("{\"schema\":4,"));
         }
         // Monotone token counts across flushes.
         let tokens: Vec<u64> = det
@@ -512,6 +543,67 @@ mod tests {
         assert_eq!(plain.num_tokens(), det.num_tokens());
         assert_eq!(det.take_snapshots().len(), 5);
         assert!(det.snapshots().is_empty());
+    }
+
+    #[test]
+    fn terminal_flush_covers_partial_tail() {
+        // Satellite regression: 1000 points at metrics-every 300 used to
+        // leave the last 100 points invisible in the snapshot trajectory.
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config.clone()).metrics_every(300);
+        for i in 0..1000usize {
+            det.push((i as f64 / 12.0).sin()).unwrap();
+        }
+        assert_eq!(det.snapshots().len(), 3); // 300, 600, 900
+        assert!(det.flush_now(), "tail points must force a snapshot");
+        assert_eq!(det.snapshots().len(), 4);
+        let tail = det.snapshots().last().unwrap();
+        let seen = tail.params.iter().find(|(k, _)| k == "seen").unwrap().1;
+        assert_eq!(seen, 1000);
+        // Idempotent: nothing new arrived, so no second terminal flush.
+        assert!(!det.flush_now());
+        assert_eq!(det.snapshots().len(), 4);
+        // After more points, flush_now works again.
+        det.push(0.0).unwrap();
+        assert!(det.flush_now());
+
+        // Exact-multiple stream: the periodic flush already covered the
+        // tail, so the terminal flush must not duplicate it.
+        let mut exact = StreamingDetector::new(config.clone()).metrics_every(500);
+        for i in 0..1000usize {
+            exact.push((i as f64 / 12.0).sin()).unwrap();
+        }
+        assert_eq!(exact.snapshots().len(), 2);
+        assert!(!exact.flush_now());
+        assert_eq!(exact.snapshots().len(), 2);
+
+        // An empty detector has nothing to flush.
+        let mut empty = StreamingDetector::new(config);
+        assert!(!empty.flush_now());
+    }
+
+    #[test]
+    fn flush_snapshots_carry_cumulative_pipeline_counters() {
+        use gv_obs::LocalRecorder;
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det =
+            StreamingDetector::with_recorder(config, LocalRecorder::new()).metrics_every(200);
+        for i in 0..800usize {
+            det.push((i as f64 / 12.0).sin()).unwrap();
+        }
+        let last = det.snapshots().last().unwrap();
+        // Snapshot counters must agree with the recorder's own counts —
+        // they are the same quantities, derived from detector state so
+        // Noop-recorded monitors still get them.
+        let rec = det.recorder();
+        for c in [
+            Counter::WindowsProcessed,
+            Counter::WordsEmitted,
+            Counter::WordsDropped,
+        ] {
+            assert_eq!(last.counter(c), rec.counter(c), "{}", c.name());
+        }
+        assert_eq!(last.counter(Counter::WindowsProcessed), 800 - 50 + 1);
     }
 
     #[test]

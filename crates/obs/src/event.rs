@@ -85,7 +85,7 @@ impl Event {
     }
 
     /// Encodes the event as one JSON line (no trailing newline). Schema:
-    /// `{"schema":3,"type":"event","kind":str,"position":int,"length":int,
+    /// `{"schema":4,"type":"event","kind":str,"position":int,"length":int,
     /// "rule":int|null,"frequency":int,"calls":int,"value":float}` —
     /// every key always present.
     pub fn to_jsonl(&self) -> String {
@@ -236,6 +236,73 @@ mod tests {
     }
 
     #[test]
+    fn overwrite_semantics_exactly_at_wraparound() {
+        // Exactly at capacity: nothing dropped yet, order intact.
+        let mut ring = EventRing::with_capacity(4);
+        for i in 0..4u64 {
+            ring.push(ev(EventKind::Visited, i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.recorded(), 4);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(
+            ring.iter().map(|e| e.position).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+
+        // The capacity+1'th push evicts exactly the oldest event and
+        // nothing else.
+        ring.push(ev(EventKind::Pruned, 4));
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(
+            ring.iter().map(|e| e.position).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+
+        // A full second lap: head returns to 0, contents are the last
+        // `capacity` pushes in order, drop accounting is exact.
+        for i in 5..8u64 {
+            ring.push(ev(EventKind::Completed, i));
+        }
+        assert_eq!(ring.recorded(), 8);
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(
+            ring.iter().map(|e| e.position).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+        assert_eq!(ring.to_vec()[0].kind, EventKind::Pruned);
+
+        // One more push after the exact second wraparound still evicts
+        // only the oldest.
+        ring.push(ev(EventKind::Flush, 8));
+        assert_eq!(
+            ring.iter().map(|e| e.position).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8]
+        );
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn capacity_one_ring_holds_only_latest() {
+        let mut ring = EventRing::with_capacity(1);
+        for i in 0..3u64 {
+            ring.push(ev(EventKind::Abandoned, i));
+        }
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.to_vec()[0].position, 2);
+        // with_capacity(0) clamps to 1 rather than panicking on push.
+        let mut zero = EventRing::with_capacity(0);
+        zero.push(ev(EventKind::Visited, 9));
+        zero.push(ev(EventKind::Visited, 10));
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero.to_vec()[0].position, 10);
+    }
+
+    #[test]
     fn under_capacity_keeps_everything() {
         let mut ring = EventRing::new();
         for i in 0..10u64 {
@@ -273,7 +340,7 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "{key} in {json}");
         }
-        assert!(json.contains("\"schema\":3"));
+        assert!(json.contains("\"schema\":4"));
         assert!(json.contains("\"kind\":\"completed\""));
         assert!(json.contains("\"rule\":7"));
         assert!(json.contains("\"value\":0.25"));

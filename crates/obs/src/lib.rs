@@ -62,25 +62,51 @@
 //! methods default to no-ops and return `None` on [`NoopRecorder`], so
 //! the zero-overhead contract is untouched.
 
+//! ## Level 4: live monitoring, SLOs, and the run ledger
+//!
+//! One-shot traces answer "what did this run do"; a fleet needs "how is
+//! this stream behaving *over time*, is that within budget, and did an
+//! upgrade change the results?" Three pieces, all schema-4 JSONL:
+//!
+//! - [`WindowedAggregator`] differences periodic cumulative snapshots
+//!   into a bounded ring of per-window [`WindowStats`] deltas (counter
+//!   rates, latency quantiles, span shares, discord rate) — contents
+//!   deterministic and thread-count-invariant unless wall-clock timing is
+//!   explicitly enabled;
+//! - [`HealthEngine`] grades each window against typed SLO
+//!   [`HealthRule`]s into `Healthy`/`Degraded`/`Breached` [`Verdict`]s,
+//!   loadable from a flat `key = value` config file;
+//! - [`LedgerRecord`] appends per-run provenance (config fingerprint,
+//!   input digest, git SHA, result digest) so cross-run result drift is
+//!   detectable, not just timing drift.
+//!
+//! The CLI's `gv monitor` subcommand drives all three over a live stream.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collecting;
 mod event;
+mod health;
 mod histogram;
+mod ledger;
 mod local;
 mod recorder;
 mod span;
 mod stage;
 mod timer;
 mod trace;
+mod window;
 
 pub use collecting::CollectingRecorder;
 pub use event::{Event, EventKind, EventRing};
+pub use health::{HealthEngine, HealthReport, HealthRule, RuleOutcome, Verdict};
 pub use histogram::Histogram;
+pub use ledger::{digest_series, git_sha, Fingerprint, LedgerRecord};
 pub use local::LocalRecorder;
 pub use recorder::{time_stage, NoopRecorder, Recorder};
 pub use span::{Span, SpanId, SpanSet, SpanTree};
 pub use stage::{Counter, Metric, Stage};
-pub use timer::{DetailTimer, SpanTimer, StageTimer};
+pub use timer::{DetailTimer, SpanTimer, StageTimer, Stopwatch};
 pub use trace::{PipelineTrace, SCHEMA_VERSION};
+pub use window::{WindowStats, WindowedAggregator};

@@ -168,6 +168,26 @@ impl SpanTimer {
     }
 }
 
+/// A plain wall-clock stopwatch for coarse, *non-hot-path* measurements:
+/// monitor interval timing, run-ledger wall time. It lives in gv-obs
+/// because only this crate and the bench binaries may read the clock
+/// (the `no-wall-clock-outside-obs` lint rule) — callers elsewhere hold
+/// a `Stopwatch` instead of an `Instant`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
 /// A per-call value timer gated on [`Recorder::detailed`]; finish with
 /// [`DetailTimer::finish`] to record the elapsed nanoseconds into a
 /// value histogram.

@@ -14,8 +14,10 @@ use std::path::Path;
 /// across PRs: 1 = PR-1 counters-only records, 2 = adds `schema` itself
 /// plus the `histograms` object and event records, 3 = adds the `spans`
 /// array (hierarchical span tree with derived self-time), the `detect`
-/// root stage, and the bench harness's run-history records.
-pub const SCHEMA_VERSION: u64 = 3;
+/// root stage, and the bench harness's run-history records, 4 = adds the
+/// live-monitoring record types (`window` per-interval aggregates,
+/// `health` SLO verdict transitions, `ledger` run-provenance records).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Everything one instrumented run measured: per-stage wall-clock time,
 /// the hot-path counters, and the value histograms, plus a free-form label
@@ -112,7 +114,7 @@ impl PipelineTrace {
 
     /// Encodes the trace as one JSON line (no trailing newline).
     ///
-    /// Schema 3: `{"schema": 3, "label": str, "params": {name: int, ...},
+    /// Schema 4: `{"schema": 4, "label": str, "params": {name: int, ...},
     /// "stages_ns": {stage: int, ...}, "counters": {counter: int, ...},
     /// "histograms": {metric: {"count","mean","p50","p90","p99","max"}, ...},
     /// "spans": [{"path": str, "total_ns": int, "self_ns": int,
@@ -319,7 +321,7 @@ pub(crate) fn format_json_f64(x: f64) -> String {
     }
 }
 
-fn write_json_string(s: &str, out: &mut String) {
+pub(crate) fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -424,7 +426,7 @@ mod tests {
                 metric.name()
             );
         }
-        assert!(json.starts_with("{\"schema\":3,"));
+        assert!(json.starts_with("{\"schema\":4,"));
         assert!(json.ends_with('}'));
         assert!(!json.contains('\n'));
         assert!(json.contains("\"spans\":[]"));

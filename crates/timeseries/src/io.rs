@@ -25,7 +25,18 @@ use crate::series::TimeSeries;
 pub fn read_csv_column(path: impl AsRef<Path>, col: usize) -> Result<TimeSeries> {
     let path = path.as_ref();
     let file = File::open(path)?;
-    let reader = BufReader::new(file);
+    let series = read_csv_column_reader(BufReader::new(file), col)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    Ok(TimeSeries::named(name, series.values().to_vec()))
+}
+
+/// Reads column `col` from any buffered reader with the same dialect as
+/// [`read_csv_column`] — the CLI uses this to monitor a stream piped in on
+/// stdin. The resulting series has an empty name.
+pub fn read_csv_column_reader(reader: impl BufRead, col: usize) -> Result<TimeSeries> {
     let mut values = Vec::new();
     let mut first_data_line = true;
     for (idx, line) in reader.lines().enumerate() {
@@ -60,11 +71,7 @@ pub fn read_csv_column(path: impl AsRef<Path>, col: usize) -> Result<TimeSeries>
             }
         }
     }
-    let name = path
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    Ok(TimeSeries::named(name, values))
+    Ok(TimeSeries::new(values))
 }
 
 fn split_fields(line: &str) -> impl Iterator<Item = &str> {
@@ -154,6 +161,15 @@ mod tests {
         assert_eq!(lat.values(), &[10.5, 11.0]);
         let lon = read_csv_column(&p, 2).unwrap();
         assert_eq!(lon.values(), &[20.5, 21.0]);
+    }
+
+    #[test]
+    fn reader_variant_matches_file_dialect() {
+        let body = "value\n# comment\n\n1\n2.5\n";
+        let ts = read_csv_column_reader(body.as_bytes(), 0).unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.5]);
+        assert_eq!(ts.name(), "");
+        assert!(read_csv_column_reader("1\nNaN\n".as_bytes(), 0).is_err());
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod znorm;
 pub use coverage::CoverageCounter;
 pub use error::{Error, Result};
 pub use interval::{merge_intervals, Interval};
-pub use io::{read_csv_column, write_csv_column, write_csv_columns};
+pub use io::{read_csv_column, read_csv_column_reader, write_csv_column, write_csv_columns};
 pub use period::{autocorrelation, dominant_period, suggest_window};
 pub use resample::{resample_linear, resample_to};
 pub use series::{find_non_finite, TimeSeries};

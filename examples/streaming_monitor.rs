@@ -1,16 +1,14 @@
 //! Online anomaly monitoring — the paper's §7 future-work direction in
-//! action: points arrive one at a time, and the detector raises an alert
-//! as soon as an incompressible region matures. With
-//! `metrics_every(2000)` the detector also flushes a metrics snapshot
-//! every 2000 points, so a long-running monitor yields a time-resolved
-//! metric trajectory (grammar churn, surviving tokens) instead of one
-//! final record.
+//! action: points arrive one at a time, the detector raises an alert as
+//! soon as an incompressible region matures, and the live-telemetry stack
+//! turns the periodic metric flushes into per-interval `window` records
+//! and SLO `health` verdicts (the library equivalent of `gv monitor`).
 //!
 //! ```text
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use grammarviz::core::obs::LocalRecorder;
+use grammarviz::core::obs::{HealthEngine, HealthRule, LedgerRecord, WindowedAggregator};
 use grammarviz::core::{PipelineConfig, StreamingDetector};
 use grammarviz::timeseries::Interval;
 
@@ -31,19 +29,30 @@ fn main() {
     };
 
     let config = PipelineConfig::new(100, 4, 4).expect("valid parameters");
-    let mut detector =
-        StreamingDetector::with_recorder(config, LocalRecorder::new()).metrics_every(2000);
+    let mut detector = StreamingDetector::new(config).metrics_every(2000);
+
+    // The monitoring stack: difference every cumulative snapshot into a
+    // per-interval window, and grade each window against two SLOs. The
+    // tight discord budget breaches when the fault alerts.
+    let mut aggregator = WindowedAggregator::new();
+    let mut health = HealthEngine::new(vec![
+        HealthRule::MaxDiscordRate(0.0001),
+        HealthRule::StaleStream(3),
+    ]);
 
     println!("streaming 10,000 points; fault injected at {fault}\n");
+    let mut reported: Vec<Interval> = Vec::new();
     let mut first_alert: Option<(usize, Interval)> = None;
     for t in 0..10_000usize {
         detector.push(signal(t)).expect("finite signal");
         // Check periodically, like a monitoring loop would.
         if t % 250 == 0 && t > 0 {
-            let alerts = detector.alerts(0, 150);
-            if let Some(alert) = alerts.iter().find(|a| a.overlaps(&fault)) {
-                if first_alert.is_none() {
-                    first_alert = Some((t, *alert));
+            for alert in detector.alerts(0, 150) {
+                if !reported.iter().any(|r| r.overlaps(&alert)) {
+                    reported.push(alert);
+                }
+                if first_alert.is_none() && alert.overlaps(&fault) {
+                    first_alert = Some((t, alert));
                     println!("t={t:>6}: ALERT {alert} — fault detected");
                 }
             }
@@ -56,6 +65,8 @@ fn main() {
             );
         }
     }
+    // Terminal flush: never drop the final partial interval.
+    detector.flush_now();
 
     match first_alert {
         Some((t, alert)) => {
@@ -72,13 +83,43 @@ fn main() {
         None => println!("\nno alert raised — unexpected for this stream"),
     }
 
-    // The periodic metric trajectory: one schema-versioned JSONL record per flush
-    // (the CLI equivalent is `gv stream --metrics-every N --metrics PATH`).
-    println!(
-        "\nmetric trajectory ({} snapshots):",
-        detector.snapshots().len()
-    );
-    for snapshot in detector.snapshots() {
-        println!("  {}", snapshot.to_jsonl());
+    // Replay the cumulative snapshot trajectory through the aggregator:
+    // one deterministic `window` record per flush interval, plus a
+    // `health` record whenever the SLO verdict changes (the CLI
+    // equivalent is `gv monitor --interval N --rules FILE`).
+    println!("\nwindow + health records:");
+    for snapshot in detector.take_snapshots() {
+        let seen = snapshot.params.iter().find(|(k, _)| k == "seen");
+        let points = seen.map(|(_, v)| *v).unwrap_or(0);
+        let discords = reported.iter().filter(|r| (r.end as u64) <= points).count() as u64;
+        let window = aggregator.observe(&snapshot, points, discords, 0);
+        println!("  {}", window.to_jsonl());
+        let (report, transition) = health.evaluate(window);
+        if transition {
+            println!("  {}", report.to_jsonl());
+        }
     }
+
+    // One run-ledger line captures the session's provenance: config and
+    // input digests plus a digest over what was found — `gv check
+    // --ledger` compares these across git SHAs to catch result drift.
+    let mut config_fp = grammarviz::core::obs::Fingerprint::new();
+    config_fp.write_str("streaming_monitor").write_u64(100);
+    let mut result_fp = grammarviz::core::obs::Fingerprint::new();
+    for alert in &reported {
+        result_fp
+            .write_u64(alert.start as u64)
+            .write_u64(alert.len() as u64);
+    }
+    let ledger = LedgerRecord {
+        label: "streaming_monitor".to_string(),
+        git_sha: grammarviz::core::obs::git_sha(),
+        config_fp: config_fp.finish(),
+        input_digest: grammarviz::core::obs::digest_series(detector.values()),
+        points: detector.len() as u64,
+        wall_ns: 0,
+        k: reported.len() as u64,
+        result_digest: result_fp.finish(),
+    };
+    println!("\nledger record:\n  {}", ledger.to_jsonl());
 }
