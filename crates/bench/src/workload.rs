@@ -12,6 +12,12 @@
 //!   stage used to read 0 ns in RRA-only exports).
 //! - `streaming` — 12k points replayed through the online detector plus a
 //!   density-curve pass and an alert scan.
+//! - `streaming-throughput` — the same 12k points through the
+//!   *bounded-horizon* online detector (horizon 2048, so roughly five
+//!   eviction-driven relearn cycles) with a periodic exact re-detection —
+//!   the steady-state cost of the incremental engine that
+//!   `streaming_throughput` (the standalone flatness gate behind
+//!   `BENCH_stream.json`) checks stays constant per point.
 //! - `sweep` — a 12-combination discretization-parameter sweep (both
 //!   detectors per combination) on a 5k-point record.
 //!
@@ -35,7 +41,7 @@ use gva_core::{
 use crate::history::BenchRecord;
 
 /// Registered workload names, in registry order.
-pub const WORKLOADS: &[&str] = &["standard", "streaming", "sweep"];
+pub const WORKLOADS: &[&str] = &["standard", "streaming", "streaming-throughput", "sweep"];
 
 /// Default steady-state repetitions per workload.
 pub const DEFAULT_REPS: usize = 3;
@@ -99,6 +105,9 @@ pub fn run_workload(name: &str, reps: usize) -> Result<WorkloadRun, String> {
     match name {
         "standard" => run_generic("standard", reps, standard_iteration),
         "streaming" => run_generic("streaming", reps, streaming_iteration),
+        "streaming-throughput" => {
+            run_generic("streaming-throughput", reps, streaming_throughput_iteration)
+        }
         "sweep" => run_generic("sweep", reps, sweep_iteration),
         other => Err(format!(
             "unknown workload {other:?} (registry: {})",
@@ -187,6 +196,29 @@ fn streaming_iteration(recorder: &dyn Recorder) -> Result<(), String> {
     Ok(())
 }
 
+/// The bounded-horizon twin of `streaming`: 12k points through a
+/// horizon-2048 online detector (every push past the horizon evicts the
+/// oldest token and repairs the grammar), with the exact discord search
+/// re-run every 2500 points and a final alert scan.
+fn streaming_throughput_iteration(recorder: &dyn Recorder) -> Result<(), String> {
+    let data = ecg_record("bench streaming", 12_000, 150, 2, 0x150);
+    let config = PipelineConfig::new(150, 4, 4).map_err(|e| e.to_string())?;
+    let rra = RraDetector::new(config.clone(), 2).with_engine(EngineConfig::sequential());
+    let mut det = StreamingDetector::with_recorder(config, recorder).with_horizon(2_048);
+    for (i, &v) in data.series.values().iter().enumerate() {
+        det.push(v).map_err(|e| e.to_string())?;
+        if (i + 1) % 2_500 == 0 {
+            det.detect(&rra).map_err(|e| e.to_string())?;
+        }
+    }
+    det.detect(&rra).map_err(|e| e.to_string())?;
+    if det.len() != 12_000 {
+        return Err("streaming-throughput: stream lost points".to_string());
+    }
+    let _ = det.alerts(0, 300);
+    Ok(())
+}
+
 /// A small discretization-parameter sweep running both detectors per grid
 /// point — the cost shape of `fig10` at smoke-test scale.
 fn sweep_iteration(recorder: &dyn Recorder) -> Result<(), String> {
@@ -250,6 +282,19 @@ mod tests {
         assert_eq!(steady.git_sha, "deadbee");
         assert!(!steady.counters.is_empty());
         assert!(steady.wall_ns > 0 && warmup.wall_ns > 0);
+    }
+
+    /// The bounded workload must actually exercise eviction: 12k points
+    /// through a 2048-point horizon retires 9952 tokens' worth of
+    /// history, and that shows up in the instrumented counters.
+    #[test]
+    fn streaming_throughput_workload_evicts() {
+        let run = run_workload("streaming-throughput", 1).unwrap();
+        assert!(
+            run.trace.counter(gv_obs::Counter::TokensEvicted) > 0,
+            "bounded-horizon workload reported no evicted tokens"
+        );
+        assert!(run.wall_ns > 0);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! Drives `--count` seeded random and adversarial series through the full
 //! pipeline and every `gv-check` checker, plus a brute-force-vs-HOTSAX
-//! differential and the error-path contracts (non-finite rejection,
+//! differential, the streaming differential (a bounded-horizon
+//! incremental engine vs a from-scratch batch run on its retained slice,
+//! at a randomized horizon that mixes evicting and non-evicting runs),
+//! and the error-path contracts (non-finite rejection,
 //! shorter-than-window rejection, streaming push rejection). The PRNG is
 //! the vendored xoshiro256++, so a given `--seed` reproduces the exact
 //! same series on every machine.
@@ -20,7 +23,7 @@
 
 use std::process::ExitCode;
 
-use gv_check::check_series;
+use gv_check::{check_series, check_streaming};
 use gv_discord::HotSaxConfig;
 use gv_obs::NoopRecorder;
 use gva_core::{
@@ -92,7 +95,10 @@ fn main() -> ExitCode {
             6 => fuzz_short(i, &mut rng, &config, k, window, threads, &mut ws, tally),
             _ => {
                 let values = gen_valid(family, &mut rng);
-                fuzz_valid(i, &values, &config, k, threads, &mut ws, tally);
+                // Sometimes shorter than the series (eviction active),
+                // sometimes longer (bounded path, nothing evicted yet).
+                let horizon = rng.gen_range(window * 3..=800usize);
+                fuzz_valid(i, &values, &config, k, threads, horizon, &mut ws, tally);
             }
         }
     }
@@ -208,13 +214,17 @@ fn gen_valid(family: usize, rng: &mut StdRng) -> Vec<f64> {
 
 /// Valid series: every checker must pass; the only benign refusal is a
 /// candidate-free grammar on degenerate (constant-like) input. Also runs
-/// the brute-force-vs-HOTSAX differential on the same series.
+/// the brute-force-vs-HOTSAX differential and the streaming differential
+/// (incremental engine at `horizon` vs batch on the retained slice) on
+/// the same series.
+#[allow(clippy::too_many_arguments)]
 fn fuzz_valid(
     i: usize,
     values: &[f64],
     config: &PipelineConfig,
     k: usize,
     threads: usize,
+    horizon: usize,
     ws: &mut Workspace,
     tally: &mut FamilyTally,
 ) {
@@ -238,6 +248,21 @@ fn fuzz_valid(
     }
     if let Some(v) = baseline_differential(values, config, k, ws) {
         tally.violations.push(format!("series {i}: {v}"));
+    }
+    match check_streaming(values, config, k, threads, horizon) {
+        Ok(report) => {
+            if !report.passed() {
+                tally.violations.push(format!(
+                    "series {i} (len {}, window {}, k {k}, horizon {horizon}):\n{}",
+                    values.len(),
+                    config.window(),
+                    report.render()
+                ));
+            }
+        }
+        Err(e) => tally.violations.push(format!(
+            "series {i}: streaming engine refused a valid series at horizon {horizon}: {e}"
+        )),
     }
 }
 

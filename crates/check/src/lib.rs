@@ -18,7 +18,11 @@
 //! 5. **RRA exactness** (§4.2/§5): the ranked discords agree — distance
 //!    bits and all — with a heuristic-free brute-force replay over the
 //!    same candidate intervals
-//!    ([`reference_rank`](gva_core::reference_rank)).
+//!    ([`reference_rank`](gva_core::reference_rank));
+//! 6. **Streaming differential** (§7): a bounded-horizon incremental
+//!    engine is indistinguishable — density curve, discords, grammar
+//!    structure — from a from-scratch batch run on the slice it retains
+//!    ([`check_streaming`]).
 //!
 //! The checkers are callable piecemeal on any [`GrammarModel`] /
 //! [`RraReport`], or wholesale through [`check_series`], which runs the
@@ -31,6 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod ledger;
+mod streaming;
+
+pub use streaming::check_streaming;
 
 use gv_discord::DiscordRecord;
 use gv_obs::NoopRecorder;

@@ -58,6 +58,9 @@ common options:
                      (rra/explain)
   --metrics-every N  stream: append a metrics snapshot to --metrics every
                      N points (a time-resolved trajectory, not one record)
+  --horizon N        stream/monitor: retain only the last N points — the
+                     online detector evicts older tokens from its grammar
+                     and runs in bounded memory (0 or omitted: unbounded)
   --threads N        RRA search worker threads (rra/explain/demo; default
                      from GV_THREADS, else 1) — ranked discords are
                      bit-identical for any thread count
@@ -105,6 +108,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "check-every",
             "metrics-every",
             "metrics",
+            "horizon",
         ]),
         "monitor" => Some(&[
             "file",
@@ -121,6 +125,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "label",
             "fail-on-breach",
             "timing",
+            "horizon",
         ]),
         "lint" => Some(&["root"]),
         "check" => Some(&[
@@ -602,13 +607,21 @@ fn stream(args: &Args) -> Result<(), String> {
     let maturity = args.usize_or("maturity", window)?;
     let check_every = args.usize_or("check-every", (series.len() / 20).max(100))?;
     let metrics_every = args.usize_or("metrics-every", 0)?;
+    let horizon = args.usize_or("horizon", 0)?;
 
     let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    let mut det = gva_core::StreamingDetector::new(config).metrics_every(metrics_every);
+    let mut det = gva_core::StreamingDetector::new(config)
+        .with_horizon(horizon)
+        .metrics_every(metrics_every);
     println!(
         "streaming {} points (W={window} P={paa} A={alphabet}, \
-         alert threshold {threshold}, maturity {maturity})",
-        series.len()
+         alert threshold {threshold}, maturity {maturity}{})",
+        series.len(),
+        if horizon > 0 {
+            format!(", horizon {horizon}")
+        } else {
+            String::new()
+        }
     );
     let mut reported: Vec<Interval> = Vec::new();
     for (i, v) in series.iter() {
@@ -669,6 +682,7 @@ fn monitor(args: &Args) -> Result<(), String> {
     if interval == 0 {
         return Err("--interval must be at least 1".to_string());
     }
+    let horizon = args.usize_or("horizon", 0)?;
     let timing = args.flag("timing");
     let label = args.get("label").unwrap_or("monitor");
     let mut engine = match args.get("rules") {
@@ -683,7 +697,7 @@ fn monitor(args: &Args) -> Result<(), String> {
     }
 
     let config = PipelineConfig::new(window, paa, alphabet).map_err(|e| e.to_string())?;
-    let mut det = gva_core::StreamingDetector::new(config);
+    let mut det = gva_core::StreamingDetector::new(config).with_horizon(horizon);
     let mut agg = WindowedAggregator::new().with_timing(timing);
     let watch = timing.then(Stopwatch::start);
     let mut lines: Vec<String> = Vec::new();
@@ -740,6 +754,7 @@ fn monitor(args: &Args) -> Result<(), String> {
                 threshold as u64,
                 maturity as u64,
                 interval as u64,
+                horizon as u64,
             ],
             &series,
             reported.iter().map(|iv| (*iv, 0.0)),
@@ -1253,6 +1268,53 @@ mod tests {
         }
         assert_eq!(bodies[0], bodies[1]);
         assert!(!bodies[0].is_empty());
+    }
+
+    #[test]
+    fn stream_and_monitor_accept_horizon() {
+        let dir = std::env::temp_dir().join("gv_cli_horizon_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = fixture("monitor_sine.csv");
+        // Bounded stream: the grammar evicts old tokens; the metrics
+        // trajectory reports the churn and the final snapshot still covers
+        // every point seen.
+        let metrics = dir.join("stream_horizon.jsonl");
+        let _ = std::fs::remove_file(&metrics);
+        assert!(run(&argv(&format!(
+            "stream --file {file} --window 100 --horizon 800 \
+             --metrics-every 1000 --metrics {}",
+            metrics.display()
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("\"horizon\":800"), "{text}");
+        assert!(text.contains("\"tokens_evicted\":"), "{text}");
+        // Bounded monitor runs are as deterministic as unbounded ones.
+        let mut bodies = Vec::new();
+        for run_i in 0..2 {
+            let out = dir.join(format!("horizon_{run_i}.jsonl"));
+            let _ = std::fs::remove_file(&out);
+            assert!(run(&argv(&format!(
+                "monitor --file {file} --window 100 --interval 300 --threshold 1 \
+                 --maturity 400 --horizon 700 --out {}",
+                out.display()
+            )))
+            .is_ok());
+            bodies.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(bodies[0], bodies[1]);
+        assert!(!bodies[0].is_empty());
+        // --horizon belongs to the streaming commands only.
+        let err = run(&argv(&format!(
+            "density --file {file} --window 100 --horizon 500"
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown option --horizon"), "{err}");
+        let err = run(&argv(&format!(
+            "stream --file {file} --window 100 --horizon many"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--horizon expects an integer"), "{err}");
     }
 
     #[test]

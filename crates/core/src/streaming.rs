@@ -7,16 +7,42 @@
 //! grammar to ask *"how compressible is the data I have seen so far —
 //! and where isn't it?"*.
 //!
+//! # Bounded horizon
+//!
+//! By default the detector retains the entire stream. With
+//! [`with_horizon`](StreamingDetector::with_horizon) it becomes a bounded
+//! engine: only the most recent `horizon` points are kept, and everything
+//! scales with the horizon rather than the stream —
+//!
+//! * raw values and SAX records live in ring-style buffers that evict in
+//!   lockstep with the grammar;
+//! * the grammar itself retires front tokens via
+//!   [`Sequitur::evict_front`] as they age out;
+//! * the rule-density curve is maintained *incrementally*: the grammar's
+//!   structural journal reports each rule-occurrence birth/death, which
+//!   becomes a ±1 delta over the covered points instead of a full recount
+//!   (a journal event without a resolvable position forces one recount,
+//!   counted by [`Counter::DensityRecounts`]);
+//! * [`detect`](StreamingDetector::detect) dispatches over the horizon
+//!   view only, so a from-scratch batch run over the same slice produces
+//!   bit-identical discords.
+//!
 //! A caveat the batch pipeline doesn't have: the most recent points are
 //! always under-covered (rules that will eventually span them haven't had
 //! a chance to form), so alerts are only raised for regions older than a
-//! configurable *maturity horizon*.
+//! configurable *maturity horizon*. With a bounded horizon the mirror
+//! effect exists at the retained front — rules that covered it may have
+//! been evicted — so the first window past the horizon start is masked
+//! symmetrically.
 
 use std::collections::VecDeque;
 
 use gv_obs::{time_stage, Counter, Event, EventKind, NoopRecorder, PipelineTrace, Recorder, Stage};
-use gv_sax::{NumerosityReduction, SaxDictionary, SaxRecord};
-use gv_sequitur::Sequitur;
+use gv_sax::{
+    symbols_mindist_is_zero, IncrementalDiscretizer, NumerosityReduction, SaxDictionary, SaxRecord,
+    SaxWord,
+};
+use gv_sequitur::{GrammarEvent, Sequitur};
 use gv_timeseries::{CoverageCounter, Interval};
 
 use crate::config::PipelineConfig;
@@ -25,6 +51,57 @@ use crate::engine::{Detector, Report, SeriesView};
 use crate::error::Result;
 use crate::model::GrammarModel;
 use crate::workspace::Workspace;
+
+/// A growable buffer that keeps only the last `bound` elements (`0`:
+/// unbounded). The dead prefix is compacted with `copy_within` once it
+/// reaches `bound`, so the backing capacity freezes at roughly `2×bound`
+/// and pushes stay amortized O(1) with no per-push allocation.
+#[derive(Debug)]
+struct SlidingBuf<T: Copy> {
+    buf: Vec<T>,
+    start: usize,
+    bound: usize,
+}
+
+impl<T: Copy> SlidingBuf<T> {
+    fn new(bound: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            bound,
+        }
+    }
+
+    fn push(&mut self, v: T) {
+        self.buf.push(v);
+        if self.bound > 0 {
+            if self.len() > self.bound {
+                self.start += self.len() - self.bound;
+            }
+            if self.start >= self.bound {
+                self.buf.copy_within(self.start.., 0);
+                self.buf.truncate(self.buf.len() - self.start);
+                self.start = 0;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn as_slice(&self) -> &[T] {
+        &self.buf[self.start..]
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[self.start..]
+    }
+
+    fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
 
 /// An online grammar-based anomaly detector.
 ///
@@ -43,19 +120,42 @@ use crate::workspace::Workspace;
 #[derive(Debug)]
 pub struct StreamingDetector<R: Recorder = NoopRecorder> {
     config: PipelineConfig,
-    /// Rolling buffer holding the last `window` points.
-    buffer: VecDeque<f64>,
-    /// The full stream so far — retained so any [`Detector`] can re-run
-    /// over history on demand (one `f64` per point; the grammar itself is
-    /// already linear in the stream, so this does not change the space
-    /// class).
-    values: Vec<f64>,
+    /// Retained points: `0` keeps the whole stream, otherwise the last
+    /// `horizon` points (never less than one window).
+    horizon: usize,
+    /// Streaming SAX: emits the word for the window ending at each point
+    /// with no per-push allocation, bit-identical to the batch kernels.
+    discretizer: IncrementalDiscretizer,
+    /// The retained raw values (the whole stream when unbounded).
+    values: SlidingBuf<f64>,
+    /// Incrementally-maintained rule-density curve, aligned with `values`
+    /// (only maintained when a horizon is set).
+    curve: SlidingBuf<i64>,
     /// Total points consumed.
     seen: usize,
     dictionary: SaxDictionary,
     sequitur: Sequitur,
-    /// Surviving records (post numerosity reduction), like the batch model.
-    records: Vec<SaxRecord>,
+    /// Surviving records (post numerosity reduction) over the horizon;
+    /// record `i` is retained grammar token `i`.
+    records: VecDeque<SaxRecord>,
+    /// Absolute token index of `records.front()` (tokens popped so far).
+    tokens_dropped: u64,
+    /// Recycled word storage: boxes from evicted records are reused for
+    /// new words, so steady-state pushes stop allocating.
+    word_pool: Vec<Box<[u8]>>,
+    /// Symbols of the last *kept* word (numerosity-reduction state). Kept
+    /// outside `records` so eviction cannot disturb it.
+    last_word: Vec<u8>,
+    have_last: bool,
+    /// Cumulative kept words (monotone even under eviction).
+    words_emitted: u64,
+    /// Scratch for draining the grammar's structural journal.
+    journal: Vec<GrammarEvent>,
+    /// A journal event without a resolvable position invalidated the
+    /// incremental curve; a recount runs at the end of the push.
+    curve_dirty: bool,
+    /// Cumulative full curve recounts (mirrors [`Counter::DensityRecounts`]).
+    density_recounts: u64,
     /// Reused across [`detect`](StreamingDetector::detect) calls, so
     /// periodic re-detection stops allocating once warmed up.
     workspace: Workspace,
@@ -84,20 +184,58 @@ impl<R: Recorder> StreamingDetector<R> {
     /// `recorder`. [`new`](StreamingDetector::new) is this with a
     /// [`NoopRecorder`].
     pub fn with_recorder(config: PipelineConfig, recorder: R) -> Self {
+        let discretizer = IncrementalDiscretizer::new(config.sax());
         Self {
             config,
-            buffer: VecDeque::new(),
-            values: Vec::new(),
+            horizon: 0,
+            discretizer,
+            values: SlidingBuf::new(0),
+            curve: SlidingBuf::new(0),
             seen: 0,
             dictionary: SaxDictionary::new(),
             sequitur: Sequitur::new(),
-            records: Vec::new(),
+            records: VecDeque::new(),
+            tokens_dropped: 0,
+            word_pool: Vec::new(),
+            last_word: Vec::new(),
+            have_last: false,
+            words_emitted: 0,
+            journal: Vec::new(),
+            curve_dirty: false,
+            density_recounts: 0,
             workspace: Workspace::new(),
             recorder,
             metrics_every: 0,
             last_flush_seen: 0,
             snapshots: Vec::new(),
         }
+    }
+
+    /// Builder-style: bound the engine to the last `horizon` points (`0`,
+    /// the default, retains the whole stream). A non-zero horizon is
+    /// clamped up to one window — anything shorter cannot hold a single
+    /// token. Must be configured before the first push.
+    ///
+    /// # Panics
+    /// Panics when points have already been consumed.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert_eq!(self.seen, 0, "set the horizon before streaming");
+        self.horizon = if horizon == 0 {
+            0
+        } else {
+            horizon.max(self.config.window())
+        };
+        self.values = SlidingBuf::new(self.horizon);
+        self.curve = SlidingBuf::new(self.horizon);
+        if self.horizon > 0 {
+            self.sequitur.enable_journal();
+            // The pool never outgrows the peak retained-record count (one
+            // box per kept word in flight), so reserving that up front
+            // freezes its capacity for the lifetime of the stream.
+            self.word_pool = Vec::with_capacity(self.horizon - self.config.window() + 2);
+        }
+        self
     }
 
     /// Builder-style: emit a metrics snapshot every `n` pushed points
@@ -135,6 +273,20 @@ impl<R: Recorder> StreamingDetector<R> {
         &self.config
     }
 
+    /// The configured horizon in points (`0`: unbounded).
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Absolute stream index of the first retained point (`0` until the
+    /// horizon fills). [`values`](StreamingDetector::values),
+    /// [`density_curve`](StreamingDetector::density_curve), and
+    /// [`detect`](StreamingDetector::detect) reports are all relative to
+    /// this origin.
+    pub fn horizon_start(&self) -> usize {
+        self.seen - self.values.len()
+    }
+
     /// Number of points consumed so far.
     pub fn len(&self) -> usize {
         self.seen
@@ -145,14 +297,35 @@ impl<R: Recorder> StreamingDetector<R> {
         self.seen == 0
     }
 
-    /// Number of tokens that survived numerosity reduction so far.
+    /// Number of retained tokens (words that survived numerosity reduction
+    /// and still lie inside the horizon).
     pub fn num_tokens(&self) -> usize {
         self.records.len()
     }
 
+    /// Capacities of every internal buffer. On a bounded engine this
+    /// freezes after warmup — the long-run memory guarantee: unbounded
+    /// streaming within a fixed horizon stops allocating.
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![
+            self.values.capacity(),
+            self.curve.capacity(),
+            self.records.capacity(),
+            self.word_pool.capacity(),
+            self.last_word.capacity(),
+            self.journal.capacity(),
+            self.dictionary.capacity(),
+        ];
+        sig.extend(self.discretizer.capacity_signature());
+        sig.extend(self.sequitur.capacity_signature());
+        sig.extend(self.workspace.capacity_signature());
+        sig
+    }
+
     /// Consumes one observation. Once `window` points have arrived, each
     /// push discretizes the window *ending* at this point and feeds the
-    /// grammar (subject to numerosity reduction).
+    /// grammar (subject to numerosity reduction); with a horizon set, it
+    /// then retires everything that fell out of the horizon.
     ///
     /// # Errors
     /// [`crate::Error::NonFiniteInput`] for a NaN/±∞ observation; the
@@ -163,45 +336,177 @@ impl<R: Recorder> StreamingDetector<R> {
             return Err(crate::Error::NonFiniteInput { index: self.seen });
         }
         let window = self.config.window();
+        // gv-lint: hot
         self.values.push(value);
-        self.buffer.push_back(value);
-        if self.buffer.len() > window {
-            self.buffer.pop_front();
+        if self.horizon > 0 {
+            self.curve.push(0);
         }
         self.seen += 1;
-        if self.buffer.len() < window {
-            return Ok(());
+        // Discretize into the reused scratch word — no per-push buffer.
+        let mut emitted = false;
+        let mut keep = false;
+        if let Some(symbols) = self.discretizer.push(value) {
+            emitted = true;
+            keep = if !self.have_last {
+                true
+            } else {
+                match self.config.numerosity_reduction() {
+                    NumerosityReduction::None => true,
+                    NumerosityReduction::Exact => self.last_word != symbols,
+                    NumerosityReduction::MinDist => {
+                        !symbols_mindist_is_zero(&self.last_word, symbols)
+                    }
+                }
+            };
+            if keep {
+                self.last_word.clear();
+                self.last_word.extend_from_slice(symbols);
+                self.have_last = true;
+            }
         }
-        let offset = self.seen - window;
-        // SAX the current window. `make_contiguous` is O(1) amortized here
-        // because the buffer only wraps once per capacity growth.
-        let slice: Vec<f64> = self.buffer.iter().copied().collect();
-        let word = self
-            .config
-            .sax()
-            .word(&slice)
-            // gv-lint: allow(no-unwrap-in-lib) buffer.len() == window > 0 was checked above; an empty window is unreachable
-            .expect("window buffer is non-empty by construction");
-        self.recorder.incr(Counter::WindowsProcessed);
-        let keep = match self.records.last() {
-            Some(last) => match self.config.numerosity_reduction() {
-                NumerosityReduction::None => true,
-                NumerosityReduction::Exact => last.word != word,
-                NumerosityReduction::MinDist => !gv_sax::mindist_is_zero(&last.word, &word),
-            },
-            None => true,
-        };
+        if emitted {
+            self.recorder.incr(Counter::WindowsProcessed);
+        }
         if keep {
+            let mut storage = match self.word_pool.pop() {
+                Some(b) => b,
+                // gv-lint: allow(no-alloc-in-hot-path) cold: only until eviction feeds the pool (or forever-growing unbounded mode, which allocated per push before too)
+                None => vec![0u8; self.config.paa()].into_boxed_slice(),
+            };
+            storage.copy_from_slice(&self.last_word);
+            let word = SaxWord::new(storage);
+            let token = self.dictionary.intern(&word);
+            self.sequitur.push(token);
+            self.records.push_back(SaxRecord {
+                word,
+                offset: self.seen - window,
+            });
+            self.words_emitted += 1;
             self.recorder.incr(Counter::WordsEmitted);
-            self.sequitur.push(self.dictionary.intern(&word));
-            self.records.push(SaxRecord { word, offset });
-        } else {
+        } else if emitted {
             self.recorder.incr(Counter::WordsDropped);
         }
+        if self.horizon > 0 {
+            // Rule births from this push become +1 curve deltas.
+            self.apply_journal();
+            // Retire records whose window slid out of the horizon; the
+            // grammar evicts the same tokens, journaling every occurrence
+            // death (applied while the records can still resolve offsets).
+            let boundary = self.seen.saturating_sub(self.horizon);
+            let mut evict = 0usize;
+            while let Some(rec) = self.records.get(evict) {
+                if rec.offset < boundary {
+                    evict += 1;
+                } else {
+                    break;
+                }
+            }
+            if evict > 0 {
+                let before = self.sequitur.stats();
+                self.sequitur.evict_front(evict);
+                let after = self.sequitur.stats();
+                self.apply_journal();
+                for _ in 0..evict {
+                    if let Some(rec) = self.records.pop_front() {
+                        self.word_pool.push(rec.word.into_bytes());
+                    }
+                }
+                self.tokens_dropped += evict as u64;
+                // Live counters mirror the cumulative flush snapshots, so
+                // a per-run recorder sees eviction work too.
+                self.recorder.add(Counter::TokensEvicted, evict as u64);
+                self.recorder.add(
+                    Counter::RulesEvicted,
+                    after.rules_evicted - before.rules_evicted,
+                );
+                self.recorder.add(
+                    Counter::RulesRelearned,
+                    after.rules_relearned - before.rules_relearned,
+                );
+            }
+            if self.curve_dirty {
+                self.recount_curve();
+            }
+        }
+        // gv-lint: end-hot
         if self.metrics_every > 0 && self.seen.is_multiple_of(self.metrics_every) {
             self.flush_metrics();
         }
         Ok(())
+    }
+
+    /// Drains the grammar journal and folds each positioned occurrence
+    /// birth/death into the curve as a ±1 interval delta. An event whose
+    /// position the grammar could not track marks the curve dirty (one
+    /// recount at the end of the push).
+    fn apply_journal(&mut self) {
+        let mut events = std::mem::take(&mut self.journal);
+        self.sequitur.drain_journal(&mut events);
+        for e in events.drain(..) {
+            match e {
+                GrammarEvent::Born {
+                    token_start,
+                    token_len,
+                } => self.apply_span(token_start, token_len, 1),
+                GrammarEvent::Died {
+                    token_start,
+                    token_len,
+                } => self.apply_span(token_start, token_len, -1),
+                GrammarEvent::Dirty => self.curve_dirty = true,
+            }
+        }
+        self.journal = events;
+    }
+
+    /// Adds `delta` over the points covered by the token span
+    /// `[token_start, token_start + token_len)` (absolute token indexes),
+    /// clipped to the retained region.
+    fn apply_span(&mut self, token_start: u64, token_len: u64, delta: i64) {
+        if self.curve_dirty {
+            return; // a recount will rebuild everything anyway
+        }
+        debug_assert!(token_start >= self.tokens_dropped, "span below the front");
+        let rel = (token_start - self.tokens_dropped) as usize;
+        let last = rel + token_len as usize - 1;
+        debug_assert!(last < self.records.len(), "span beyond retained tokens");
+        let start_pt = self.records[rel].offset;
+        let end_pt = self.records[last].offset + self.config.window();
+        let tail = self.horizon_start();
+        if end_pt <= tail {
+            return;
+        }
+        let lo = start_pt.max(tail) - tail;
+        let hi = end_pt.min(self.seen) - tail;
+        for c in &mut self.curve.as_mut_slice()[lo..hi] {
+            *c += delta;
+        }
+    }
+
+    /// Rebuilds the curve over the retained region from a fresh grammar
+    /// snapshot — the fallback when a journal event had no resolvable
+    /// position. O(horizon + occurrences), never O(stream).
+    fn recount_curve(&mut self) {
+        self.curve_dirty = false;
+        self.density_recounts += 1;
+        self.recorder.incr(Counter::DensityRecounts);
+        for c in self.curve.as_mut_slice() {
+            *c = 0;
+        }
+        let grammar = self.sequitur.snapshot();
+        let tail = self.horizon_start();
+        let window = self.config.window();
+        for occ in grammar.occurrences() {
+            let start_pt = self.records[occ.token_start].offset;
+            let end_pt = self.records[occ.token_start + occ.token_len - 1].offset + window;
+            if end_pt <= tail {
+                continue;
+            }
+            let lo = start_pt.max(tail) - tail;
+            let hi = end_pt.min(self.seen) - tail;
+            for c in &mut self.curve.as_mut_slice()[lo..hi] {
+                *c += 1;
+            }
+        }
     }
 
     /// Flushes a terminal metrics snapshot covering the tail of the
@@ -225,21 +530,25 @@ impl<R: Recorder> StreamingDetector<R> {
         let stats = self.sequitur.stats();
         let window = self.config.window();
         let windows_processed = (self.seen + 1).saturating_sub(window) as u64;
-        let words_emitted = self.records.len() as u64;
         let mut trace = PipelineTrace::new("stream")
             .with_param("seen", self.seen as u64)
             .with_param("tokens", self.records.len() as u64)
+            .with_param("horizon", self.horizon as u64)
             .with_param("flush", self.snapshots.len() as u64 + 1);
         // Cumulative pipeline counters, derived from detector state so the
         // snapshot is self-contained even with a Noop recorder — this is
         // what `WindowedAggregator::observe` differences per interval.
         trace.counters[Counter::WindowsProcessed.index()] = windows_processed;
-        trace.counters[Counter::WordsEmitted.index()] = words_emitted;
+        trace.counters[Counter::WordsEmitted.index()] = self.words_emitted;
         trace.counters[Counter::WordsDropped.index()] =
-            windows_processed.saturating_sub(words_emitted);
+            windows_processed.saturating_sub(self.words_emitted);
         trace.counters[Counter::RulesCreated.index()] = stats.rules_created;
         trace.counters[Counter::RulesDeleted.index()] = stats.rules_deleted;
         trace.counters[Counter::PeakDigramEntries.index()] = stats.peak_digram_entries;
+        trace.counters[Counter::TokensEvicted.index()] = stats.tokens_evicted;
+        trace.counters[Counter::RulesEvicted.index()] = stats.rules_evicted;
+        trace.counters[Counter::RulesRelearned.index()] = stats.rules_relearned;
+        trace.counters[Counter::DensityRecounts.index()] = self.density_recounts;
         self.last_flush_seen = self.seen;
         self.snapshots.push(trace);
         if self.recorder.detailed() {
@@ -252,56 +561,73 @@ impl<R: Recorder> StreamingDetector<R> {
         }
     }
 
-    /// Snapshots the current grammar model over everything seen so far.
+    /// Snapshots the current grammar model over the retained region (the
+    /// whole stream when unbounded). Record offsets stay absolute.
     ///
     /// # Errors
     /// Currently infallible; `Result` is kept for interface stability.
     pub fn model(&self) -> Result<GrammarModel> {
         Ok(GrammarModel {
             grammar: self.sequitur.snapshot(),
-            records: self.records.clone(),
+            records: self.records.iter().cloned().collect(),
             dictionary: self.dictionary.clone(),
             series_len: self.seen,
             window: self.config.window(),
         })
     }
 
-    /// The rule-density curve over all points seen so far.
+    /// The rule-density curve over the retained region, oldest point
+    /// first (`curve[i]` describes absolute point `horizon_start() + i`).
+    /// Unbounded engines recount from a snapshot; bounded engines return
+    /// the incrementally-maintained curve — the differential tests assert
+    /// the two are bit-identical.
     pub fn density_curve(&self) -> Vec<i64> {
-        time_stage(&self.recorder, Stage::Density, || match self.model() {
-            Ok(model) => {
-                let mut cc = CoverageCounter::new(model.series_len);
-                for occ in model.grammar.occurrences() {
-                    cc.add(model.occurrence_interval(&occ));
-                }
-                cc.finish()
+        time_stage(&self.recorder, Stage::Density, || {
+            if self.horizon > 0 {
+                debug_assert!(!self.curve_dirty, "push always settles the curve");
+                return self.curve.as_slice().to_vec();
             }
-            Err(_) => Vec::new(),
+            match self.model() {
+                Ok(model) => {
+                    let mut cc = CoverageCounter::new(model.series_len);
+                    for occ in model.grammar.occurrences() {
+                        cc.add(model.occurrence_interval(&occ));
+                    }
+                    cc.finish()
+                }
+                Err(_) => Vec::new(),
+            }
         })
     }
 
-    /// The full stream retained so far, oldest first.
+    /// The retained points, oldest first (the whole stream when
+    /// unbounded); the first element is absolute index
+    /// [`horizon_start`](StreamingDetector::horizon_start).
     pub fn values(&self) -> &[f64] {
-        &self.values
+        self.values.as_slice()
     }
 
-    /// Runs any [`Detector`] over everything seen so far, through the
-    /// detector's unified interface. The internal [`Workspace`] is reused
-    /// across calls, so periodic re-detection on a growing stream stops
-    /// allocating once the buffers have warmed up; instrumentation goes to
-    /// the stream's own recorder.
+    /// Runs any [`Detector`] over the retained horizon (the whole stream
+    /// when unbounded), through the detector's unified interface. Reported
+    /// intervals are relative to
+    /// [`horizon_start`](StreamingDetector::horizon_start) — identical to
+    /// a from-scratch batch run over the same slice, to the bit. The
+    /// internal [`Workspace`] is reused across calls, so periodic
+    /// re-detection stops allocating once the buffers have warmed up;
+    /// instrumentation goes to the stream's own recorder.
     ///
     /// This is the §7 "online RRA" shape: the incremental grammar answers
     /// the cheap density question continuously
     /// ([`alerts`](StreamingDetector::alerts)), and this method runs the
-    /// exact (and parallelizable) discord search on demand.
+    /// exact (and parallelizable) discord search on demand — over the
+    /// horizon, so its cost is bounded no matter how long the stream runs.
     ///
     /// # Errors
     /// Whatever the detector reports (series still shorter than the
     /// window, no candidates, …).
     pub fn detect(&mut self, detector: &dyn Detector) -> Result<Report> {
         detector.detect(
-            &SeriesView::new(&self.values),
+            &SeriesView::new(self.values.as_slice()),
             &mut self.workspace,
             &self.recorder,
         )
@@ -310,18 +636,22 @@ impl<R: Recorder> StreamingDetector<R> {
     /// Early-detection alerts: maximal runs of points whose density is
     /// `<= threshold`, restricted to the *mature* region — at least
     /// `maturity` points older than the stream head (and past the first
-    /// window, which is under-covered for the symmetric reason).
+    /// window on both flanks: the head's rules haven't formed yet, and the
+    /// horizon front's rules may have been evicted). Intervals are in
+    /// absolute stream positions.
     pub fn alerts(&self, threshold: i64, maturity: usize) -> Vec<Interval> {
         let curve = self.density_curve();
         if curve.is_empty() {
             return Vec::new();
         }
-        let horizon = self.seen.saturating_sub(maturity.max(self.config.window()));
+        let tail = self.horizon_start();
+        let mature_end = self.seen.saturating_sub(maturity.max(self.config.window()));
         let density = RuleDensity::from_curve(curve);
         density
             .anomalies_below(threshold)
             .into_iter()
-            .filter(|iv| iv.start >= self.config.window() && iv.end <= horizon)
+            .map(|iv| Interval::new(iv.start + tail, iv.end + tail))
+            .filter(|iv| iv.start >= tail + self.config.window() && iv.end <= mature_end)
             .collect()
     }
 }
@@ -662,5 +992,171 @@ mod tests {
             rec.counter(Counter::WindowsProcessed)
         );
         assert!(rec.stage_nanos(Stage::Density) > 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded-horizon engine
+    // ------------------------------------------------------------------
+
+    /// The planted-anomaly series used across the horizon tests.
+    fn planted(n: usize, at: std::ops::Range<usize>) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if at.contains(&i) {
+                    0.05 * (i as f64)
+                } else {
+                    (i as f64 / 12.0).sin()
+                }
+            })
+            .collect()
+    }
+
+    /// A from-first-principles recount of the retained density curve from
+    /// the engine's own model — what the incremental ±1 deltas must equal
+    /// to the bit.
+    fn recount_from_model(det: &StreamingDetector) -> Vec<i64> {
+        let model = det.model().unwrap();
+        let tail = det.horizon_start();
+        let mut curve = vec![0i64; det.values().len()];
+        for occ in model.grammar.occurrences() {
+            let iv = model.occurrence_interval(&occ);
+            let lo = iv.start.max(tail) - tail;
+            let hi = iv.end.min(det.len()) - tail;
+            for c in &mut curve[lo..hi] {
+                *c += 1;
+            }
+        }
+        curve
+    }
+
+    #[test]
+    fn horizon_covering_stream_matches_unbounded_engine() {
+        // With a horizon larger than the stream nothing evicts, but the
+        // incremental curve path is active — it must agree with the
+        // unbounded recount (and therefore with the batch pipeline) bit
+        // for bit.
+        let values = planted(1500, 700..760);
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut unbounded = StreamingDetector::new(config.clone());
+        let mut bounded = StreamingDetector::new(config).with_horizon(100_000);
+        feed(&mut unbounded, values.iter().copied());
+        feed(&mut bounded, values.iter().copied());
+        assert_eq!(bounded.horizon_start(), 0);
+        assert_eq!(bounded.values(), unbounded.values());
+        assert_eq!(bounded.density_curve(), unbounded.density_curve());
+        assert_eq!(bounded.alerts(0, 100), unbounded.alerts(0, 100));
+        assert_eq!(
+            bounded.model().unwrap().records,
+            unbounded.model().unwrap().records
+        );
+    }
+
+    #[test]
+    fn horizon_density_curve_matches_recount_from_own_model() {
+        // The incremental-vs-batch differential, curve half: after heavy
+        // eviction the delta-maintained curve equals a from-scratch
+        // recount over the engine's own grammar, bit for bit.
+        let values = planted(4000, 2500..2560);
+        let config = PipelineConfig::new(40, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config).with_horizon(900);
+        for (i, &v) in values.iter().enumerate() {
+            det.push(v).unwrap();
+            if i % 397 == 0 || i + 1 == values.len() {
+                assert_eq!(
+                    det.density_curve(),
+                    recount_from_model(&det),
+                    "curve deltas drifted at point {i}"
+                );
+            }
+        }
+        assert_eq!(det.values().len(), 900);
+        assert_eq!(det.horizon_start(), 4000 - 900);
+    }
+
+    #[test]
+    fn horizon_detect_matches_batch_on_retained_slice() {
+        use crate::engine::{EngineConfig, RraDetector};
+        let values = planted(3000, 2100..2170);
+        let config = PipelineConfig::new(60, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config.clone()).with_horizon(1500);
+        feed(&mut det, values.iter().copied());
+        let tail = det.horizon_start();
+        assert_eq!(tail, 1500);
+        assert_eq!(det.values(), &values[tail..]);
+
+        let rra = RraDetector::new(config.clone(), 2).with_engine(EngineConfig::sequential());
+        let online = det.detect(&rra).unwrap();
+        let batch = crate::pipeline::AnomalyPipeline::new(config)
+            .with_engine(EngineConfig::sequential())
+            .rra_discords(&values[tail..], 2)
+            .unwrap();
+        assert_eq!(online.anomalies.len(), batch.discords.len());
+        for (a, b) in online.anomalies.iter().zip(&batch.discords) {
+            assert_eq!(a.interval, b.interval());
+            assert_eq!(a.score.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn planted_anomaly_enters_and_leaves_horizon() {
+        // Satellite regression: an anomaly raises alerts while inside the
+        // horizon and clears once it has been evicted.
+        let plant = 5000..5060;
+        let values = planted(10_000, plant.clone());
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config).with_horizon(3000);
+        let plant_region = Interval::new(4950, 5130);
+        for (i, &v) in values.iter().enumerate() {
+            det.push(v).unwrap();
+            if i + 1 == 6000 {
+                let alerts = det.alerts(0, 100);
+                assert!(
+                    alerts.iter().any(|iv| iv.overlaps(&plant_region)),
+                    "anomaly inside the horizon must alert: {alerts:?}"
+                );
+            }
+        }
+        // The plant has been evicted (horizon start is past it).
+        assert!(det.horizon_start() > plant.end);
+        let alerts = det.alerts(0, 100);
+        assert!(
+            alerts.iter().all(|iv| !iv.overlaps(&plant_region)),
+            "evicted anomaly must no longer alert: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_signature_freezes_on_long_stream() {
+        // Satellite regression: unbounded streaming within a fixed horizon
+        // must stop allocating — every internal buffer's capacity freezes
+        // after warmup, across 100k points.
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let mut det = StreamingDetector::new(config).with_horizon(2048);
+        let signal = |i: usize| (i as f64 / 12.0).sin() + 0.2 * (i as f64 / 71.0).cos();
+        let warmup = 30_000usize;
+        for i in 0..warmup {
+            det.push(signal(i)).unwrap();
+        }
+        let sig = det.capacity_signature();
+        for i in warmup..100_000 {
+            det.push(signal(i)).unwrap();
+        }
+        assert_eq!(
+            sig,
+            det.capacity_signature(),
+            "buffer capacities grew after warmup"
+        );
+        assert_eq!(det.len(), 100_000);
+        assert_eq!(det.values().len(), 2048);
+        // The grammar really did evict: far more tokens retired than
+        // retained.
+        assert!(det.sequitur.tokens_evicted() > det.num_tokens() as u64 * 10);
+    }
+
+    #[test]
+    fn horizon_shorter_than_window_is_clamped() {
+        let config = PipelineConfig::new(50, 4, 4).unwrap();
+        let det = StreamingDetector::new(config).with_horizon(10);
+        assert_eq!(det.horizon(), 50);
     }
 }

@@ -105,11 +105,21 @@ pub enum Counter {
     CandidatesPruned,
     /// Outer candidates fully evaluated.
     CandidatesCompleted,
+    /// Tokens retired from the front of the grammar by horizon eviction.
+    TokensEvicted,
+    /// Rules deleted while evicting (their occurrences left the horizon).
+    RulesEvicted,
+    /// Rules re-formed during eviction repair (an unrolled occurrence
+    /// re-exposed a repeated digram over the retained suffix).
+    RulesRelearned,
+    /// Full density-curve recounts forced by position-less grammar churn
+    /// (the incremental ±1 delta path couldn't absorb the event).
+    DensityRecounts,
 }
 
 impl Counter {
     /// Number of counters (array dimension for recorders).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 15;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -124,6 +134,10 @@ impl Counter {
         Counter::EarlyAbandons,
         Counter::CandidatesPruned,
         Counter::CandidatesCompleted,
+        Counter::TokensEvicted,
+        Counter::RulesEvicted,
+        Counter::RulesRelearned,
+        Counter::DensityRecounts,
     ];
 
     /// Dense index (0-based).
@@ -146,6 +160,10 @@ impl Counter {
             Counter::EarlyAbandons => "early_abandons",
             Counter::CandidatesPruned => "candidates_pruned",
             Counter::CandidatesCompleted => "candidates_completed",
+            Counter::TokensEvicted => "tokens_evicted",
+            Counter::RulesEvicted => "rules_evicted",
+            Counter::RulesRelearned => "rules_relearned",
+            Counter::DensityRecounts => "density_recounts",
         }
     }
 

@@ -119,6 +119,11 @@ impl SaxConfig {
         &self.alphabet
     }
 
+    /// The z-normalization σ threshold in effect.
+    pub fn znorm_threshold(&self) -> f64 {
+        self.znorm_threshold
+    }
+
     /// Discretizes one already-extracted subsequence into a word
     /// (z-normalize → PAA → symbols). Buffers are caller-provided to keep
     /// the sliding-window loop allocation-free.

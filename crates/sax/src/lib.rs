@@ -35,6 +35,7 @@ mod alphabet;
 mod dictionary;
 mod discretize;
 mod error;
+mod incremental;
 mod mindist;
 mod paa;
 mod word;
@@ -43,6 +44,7 @@ pub use alphabet::{Alphabet, MAX_ALPHABET, MIN_ALPHABET};
 pub use dictionary::SaxDictionary;
 pub use discretize::{sax_by_chunking, NumerosityReduction, SaxConfig, SaxRecord};
 pub use error::{Error, Result};
-pub use mindist::{mindist, mindist_is_zero};
+pub use incremental::IncrementalDiscretizer;
+pub use mindist::{mindist, mindist_is_zero, symbols_mindist_is_zero};
 pub use paa::{paa, paa_into, reconstruction_error};
 pub use word::SaxWord;

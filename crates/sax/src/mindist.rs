@@ -33,11 +33,14 @@ pub fn mindist(a: &SaxWord, b: &SaxWord, alphabet: &Alphabet, n: usize) -> f64 {
 /// adjacent. Cheaper than [`mindist`] (no float math) and exactly the test
 /// used by the MINDIST numerosity-reduction strategy.
 pub fn mindist_is_zero(a: &SaxWord, b: &SaxWord) -> bool {
-    a.len() == b.len()
-        && a.symbols()
-            .iter()
-            .zip(b.symbols())
-            .all(|(&x, &y)| x.abs_diff(y) <= 1)
+    symbols_mindist_is_zero(a.symbols(), b.symbols())
+}
+
+/// Raw-symbol-slice form of [`mindist_is_zero`], for streaming callers
+/// comparing a scratch-buffer candidate against the last kept word without
+/// boxing it into a [`SaxWord`] first.
+pub fn symbols_mindist_is_zero(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| x.abs_diff(y) <= 1)
 }
 
 #[cfg(test)]

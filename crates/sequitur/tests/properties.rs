@@ -76,4 +76,140 @@ proptest! {
         let g = Sequitur::induce(tokens.iter().copied());
         prop_assert!(g.grammar_size() <= tokens.len().max(1));
     }
+
+    /// Windowed eviction: after retiring an arbitrary prefix, the survivor
+    /// must hold all grammar invariants, round-trip to the retained token
+    /// suffix — the same suffix a from-scratch `Sequitur::induce` over it
+    /// reproduces — and keep the digram index consistent mid-stream.
+    #[test]
+    fn eviction_preserves_invariants_and_suffix(
+        tokens in proptest::collection::vec(0u32..6, 1..300),
+        evict_frac in 0.0f64..1.0,
+    ) {
+        let k = ((tokens.len() as f64) * evict_frac) as usize;
+        let mut s = Sequitur::new();
+        for &t in &tokens {
+            s.push(t);
+        }
+        s.evict_front(k);
+        let suffix = &tokens[k..];
+        prop_assert_eq!(s.len(), suffix.len());
+        prop_assert_eq!(s.tokens_evicted(), k as u64);
+        let problems = s.check_index_consistency();
+        prop_assert!(problems.is_empty(), "index problems: {:?}", problems);
+        let g = s.snapshot();
+        prop_assert_eq!(g.verify(suffix), None);
+        // A fresh induction over the suffix agrees on the round-trip.
+        let fresh = Sequitur::induce(suffix.iter().copied());
+        prop_assert_eq!(g.expand_rule(g.r0_id()), fresh.expand_rule(fresh.r0_id()));
+    }
+
+    /// Interleaved push/evict (the streaming pattern: bounded horizon per
+    /// push) must agree with the retained suffix at every step's end.
+    #[test]
+    fn interleaved_push_evict_tracks_suffix(
+        tokens in proptest::collection::vec(0u32..4, 1..300),
+        horizon in 1usize..48,
+    ) {
+        let mut s = Sequitur::new();
+        for &t in &tokens {
+            s.push(t);
+            if s.len() > horizon {
+                let over = s.len() - horizon;
+                s.evict_front(over);
+            }
+        }
+        let keep = tokens.len().min(horizon);
+        let suffix = &tokens[tokens.len() - keep..];
+        prop_assert_eq!(s.len(), suffix.len());
+        let problems = s.check_index_consistency();
+        prop_assert!(problems.is_empty(), "index problems: {:?}", problems);
+        let g = s.snapshot();
+        prop_assert_eq!(g.verify(suffix), None);
+    }
+
+    /// Tiled (periodic) streams under per-push eviction: straddling
+    /// unrolls followed by re-learning are exactly the cascades that once
+    /// leaked once-used rules (see `eviction_enforces_rule_utility`), so
+    /// hammer that shape with full invariant checks.
+    #[test]
+    fn interleaved_push_evict_invariants_tiled(
+        pattern in proptest::collection::vec(0u32..8, 4..20),
+        reps in 2usize..12,
+        horizon in 8usize..64,
+    ) {
+        let tokens: Vec<u32> =
+            std::iter::repeat_n(pattern.iter().copied(), reps).flatten().collect();
+        let mut s = Sequitur::new();
+        for &t in &tokens {
+            s.push(t);
+            if s.len() > horizon {
+                s.evict_front(s.len() - horizon);
+            }
+        }
+        let keep = tokens.len().min(horizon);
+        let suffix = &tokens[tokens.len() - keep..];
+        let g = s.snapshot();
+        let verdict = g.verify(suffix);
+        prop_assert!(
+            verdict.is_none(),
+            "{:?} (pattern {:?}, reps {}, horizon {})",
+            verdict, pattern, reps, horizon
+        );
+    }
+
+    /// The journal's birth/death arithmetic is conservative: with the
+    /// journal enabled, every Born/Died event carries a span inside the
+    /// pushed stream, and events at known cursors never exceed the stream.
+    #[test]
+    fn journal_events_stay_in_bounds(
+        tokens in proptest::collection::vec(0u32..4, 1..200),
+        horizon in 4usize..32,
+    ) {
+        use gv_sequitur::GrammarEvent;
+        let mut s = Sequitur::new();
+        s.enable_journal();
+        let mut events = Vec::new();
+        for &t in &tokens {
+            s.push(t);
+            if s.len() > horizon {
+                let over = s.len() - horizon;
+                s.evict_front(over);
+            }
+            s.drain_journal(&mut events);
+        }
+        let total = tokens.len() as u64;
+        for e in &events {
+            match *e {
+                GrammarEvent::Born { token_start, token_len }
+                | GrammarEvent::Died { token_start, token_len } => {
+                    prop_assert!(token_len >= 2, "rule spans at least two tokens");
+                    prop_assert!(
+                        token_start + token_len <= total,
+                        "event {:?} exceeds stream length {}", e, total
+                    );
+                }
+                GrammarEvent::Dirty => {}
+            }
+        }
+    }
+}
+
+/// Regression: evicting a single token from this two-period tiled stream
+/// once left a five-rule chain behind, every link used exactly once — the
+/// eviction repair's `match_digrams` utility checks cover only the
+/// boundary symbols of the rule it (re)uses, and a seam-check cascade
+/// that consumes that rule skipped even those. The post-eviction utility
+/// sweep now inlines the chain.
+#[test]
+fn eviction_enforces_rule_utility() {
+    let tokens: Vec<u32> = (0..16).chain(0..16).chain(0..8).collect();
+    let mut s = Sequitur::new();
+    for &t in &tokens {
+        s.push(t);
+    }
+    s.evict_front(1);
+    let g = s.snapshot();
+    assert_eq!(g.verify(&tokens[1..]), None);
+    assert!(s.check_index_consistency().is_empty());
 }
