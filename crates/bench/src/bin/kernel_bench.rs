@@ -1,0 +1,212 @@
+//! Distance-kernel throughput export: times the chunked Euclidean kernel
+//! in isolation over the input shapes the searches actually produce —
+//! the standard 300-point window (whose 4-point tail runs the scalar
+//! remainder path), an 8-aligned 304-point window (full chunks only),
+//! and a short 37-point resampled candidate — plus the `kernel` and
+//! `standard` registry workloads, and writes one trace per row (at the
+//! current `gv_obs::SCHEMA_VERSION`) to `BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run -p gv-bench --release --bin kernel_bench [-- OUT.json]
+//! ```
+//!
+//! Per-shape timing is done against `NoopRecorder` (the kernel's
+//! uninstrumented configuration) with `abandon_at = ∞`, so the figure is
+//! pure compute throughput — no abandons, no clock reads, no counter
+//! traffic inside the timed region. Nanoseconds per comparison are
+//! exported ×1000 (params are integers) as `ns_per_cmp_x1000`. The
+//! `standard` workload wall rides along so the end-to-end effect of a
+//! kernel change lands in the same file as the microbench that explains
+//! it. Wall numbers are machine-dependent; the regression gate is `gv
+//! bench diff` over same-machine history, this export is the trajectory.
+
+use std::time::Instant;
+
+use gv_bench::report;
+use gv_bench::workload::{self, KERNEL_SHAPES, KERNEL_WINDOWS};
+use gv_datasets::ecg::ecg_record;
+use gv_discord::distance::{euclidean_early, euclidean_early_resampled};
+use gv_obs::{NoopRecorder, PipelineTrace};
+use gv_timeseries::{Resampled, SeriesStats, DEFAULT_ZNORM_THRESHOLD};
+
+const REPS: usize = 5;
+
+/// Times one all-pairs pass (no abandoning) over `count` pre-normalized
+/// windows of `len` points; returns the best-of-[`REPS`] wall time and
+/// the comparisons per pass.
+fn time_shape(normed: &[f64], len: usize, count: usize) -> (u64, u64) {
+    let window = |w: usize| &normed[w * len..(w + 1) * len];
+    let mut best_ns = u64::MAX;
+    let mut sink = 0.0f64;
+    for _ in 0..=REPS {
+        // First pass is the warmup; it still feeds `sink` so the
+        // compiler cannot dead-code the kernel.
+        let t0 = Instant::now();
+        for p in 0..count {
+            for q in 0..count {
+                if p == q {
+                    continue;
+                }
+                let d = euclidean_early(&NoopRecorder, window(p), window(q), f64::INFINITY)
+                    .expect("no abandon at infinity");
+                sink += d;
+            }
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+    assert!(sink.is_finite());
+    (best_ns, (count * (count - 1)) as u64)
+}
+
+/// Times the fused lazy-resample kernel: every (target, source) window
+/// pair with the source viewed through [`Resampled`] at the target's
+/// length — the path the RRA inner loop takes when candidate lengths
+/// differ. Same no-abandon, no-instrumentation setup as [`time_shape`].
+fn time_shape_fused(
+    target: &[f64],
+    len: usize,
+    source: &[f64],
+    src_len: usize,
+    count: usize,
+) -> (u64, u64) {
+    let twin = |w: usize| &target[w * len..(w + 1) * len];
+    let swin = |w: usize| &source[w * src_len..(w + 1) * src_len];
+    let mut best_ns = u64::MAX;
+    let mut sink = 0.0f64;
+    for _ in 0..=REPS {
+        let t0 = Instant::now();
+        for p in 0..count {
+            for q in 0..count {
+                if p == q {
+                    continue;
+                }
+                let view = Resampled::new(swin(q), len);
+                let d = euclidean_early_resampled(&NoopRecorder, twin(p), &view, f64::INFINITY)
+                    .expect("no abandon at infinity");
+                sink += d;
+            }
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+    assert!(sink.is_finite());
+    (best_ns, (count * (count - 1)) as u64)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+
+    // The same deterministic population the `kernel` registry workload
+    // uses, z-normalized once through the prefix-sum statistics layer.
+    let data = ecg_record("bench kernel", 8_192, 256, 2, 0x256);
+    let values = data.series.values();
+    let stats = SeriesStats::new(values);
+
+    println!("Distance-kernel throughput — {KERNEL_WINDOWS} windows per shape, best of {REPS}\n");
+    println!(
+        "{:<24} {:>8} {:>12} {:>14}",
+        "shape", "len", "comparisons", "ns/comparison"
+    );
+
+    let count = KERNEL_WINDOWS;
+    let normed_windows = |len: usize| {
+        let step = (values.len() - len) / (count - 1);
+        let mut normed = vec![0.0; count * len];
+        for w in 0..count {
+            let start = w * step;
+            stats.znorm_window_into(
+                values,
+                start,
+                start + len,
+                DEFAULT_ZNORM_THRESHOLD,
+                &mut normed[w * len..(w + 1) * len],
+            );
+        }
+        normed
+    };
+
+    let mut lines = Vec::new();
+    for len in KERNEL_SHAPES {
+        let normed = normed_windows(len);
+        let (wall_ns, comparisons) = time_shape(&normed, len, count);
+        let ns_per_cmp_x1000 = wall_ns * 1_000 / comparisons;
+        let shape = match len % 8 {
+            0 => "aligned (full chunks)",
+            _ => "tail (scalar remainder)",
+        };
+        println!(
+            "{:<24} {:>8} {:>12} {:>14.3}",
+            shape,
+            len,
+            comparisons,
+            ns_per_cmp_x1000 as f64 / 1_000.0
+        );
+        lines.push(
+            PipelineTrace::new("kernel_bench:shape")
+                .with_param("len", len as u64)
+                .with_param("windows", count as u64)
+                .with_param("comparisons", comparisons)
+                .with_param("wall_ns", wall_ns)
+                .with_param("ns_per_cmp_x1000", ns_per_cmp_x1000)
+                .with_param("aligned", u64::from(len % 8 == 0))
+                .to_jsonl(),
+        );
+    }
+
+    // The fused lazy-resample kernel over the same target shapes, each
+    // interpolating a 25%-longer source through the `Resampled` view —
+    // the length-mismatched comparisons the RRA inner loop fuses.
+    for len in KERNEL_SHAPES {
+        let src_len = len + len / 4;
+        let target = normed_windows(len);
+        let source = normed_windows(src_len);
+        let (wall_ns, comparisons) = time_shape_fused(&target, len, &source, src_len, count);
+        let ns_per_cmp_x1000 = wall_ns * 1_000 / comparisons;
+        println!(
+            "{:<24} {:>8} {:>12} {:>14.3}",
+            format!("fused ({src_len}->{len})"),
+            len,
+            comparisons,
+            ns_per_cmp_x1000 as f64 / 1_000.0
+        );
+        lines.push(
+            PipelineTrace::new("kernel_bench:fused")
+                .with_param("len", len as u64)
+                .with_param("src_len", src_len as u64)
+                .with_param("windows", count as u64)
+                .with_param("comparisons", comparisons)
+                .with_param("wall_ns", wall_ns)
+                .with_param("ns_per_cmp_x1000", ns_per_cmp_x1000)
+                .to_jsonl(),
+        );
+    }
+
+    // The two registry workloads: the microbench (statistics + kernel,
+    // abandons included) and the full standard pipeline — the wall the
+    // acceptance criterion is quoted against.
+    for name in ["kernel", "standard"] {
+        let run = workload::run_workload(name, workload::DEFAULT_REPS).expect("registry workload");
+        println!(
+            "\n{name} workload: warmup {:.2} ms, steady {:.2} ms (best of {})",
+            run.warmup_ns as f64 / 1e6,
+            run.wall_ns as f64 / 1e6,
+            run.reps,
+        );
+        lines.push(
+            PipelineTrace::new("kernel_bench:workload")
+                .with_param("kernel_workload", u64::from(name == "kernel"))
+                .with_param("wall_ns", run.wall_ns)
+                .with_param("warmup_ns", run.warmup_ns)
+                .with_param("reps", run.reps as u64)
+                .with_param(
+                    "distance_calls",
+                    run.trace.counter(gv_obs::Counter::DistanceCalls),
+                )
+                .to_jsonl(),
+        );
+    }
+
+    report::write_lines(std::path::Path::new(&out), &lines).expect("write BENCH_kernel.json");
+    println!("\nwrote {} trace(s) to {out}", lines.len());
+}

@@ -20,6 +20,14 @@
 //!   `BENCH_stream.json`) checks stays constant per point.
 //! - `sweep` — a 12-combination discretization-parameter sweep (both
 //!   detectors per combination) on a 5k-point record.
+//! - `kernel` — the distance-kernel microbench: z-normalize a window
+//!   population once through the prefix-sum statistics layer, then drive
+//!   the chunked Euclidean kernel through all-pairs nearest-neighbor
+//!   loops over the input shapes the searches actually produce (the
+//!   standard 300-point window with its 4-point tail, an 8-aligned
+//!   304-point window, and a short 37-point resampled candidate). Gates
+//!   kernel + statistics throughput in isolation, where a regression
+//!   cannot hide behind pipeline stages.
 //!
 //! A run times a tagged warmup iteration first (cold caches, allocator,
 //! lazy stdlib init), then `reps` uninstrumented steady-state iterations
@@ -30,7 +38,9 @@
 use std::time::Instant;
 
 use gv_datasets::ecg::ecg_record;
+use gv_discord::distance::euclidean_early;
 use gv_obs::PipelineTrace;
+use gv_timeseries::{SeriesStats, DEFAULT_ZNORM_THRESHOLD};
 use gva_core::obs::{CollectingRecorder, NoopRecorder, Recorder};
 use gva_core::sweep::{self, SweepGrid};
 use gva_core::{
@@ -41,7 +51,13 @@ use gva_core::{
 use crate::history::BenchRecord;
 
 /// Registered workload names, in registry order.
-pub const WORKLOADS: &[&str] = &["standard", "streaming", "streaming-throughput", "sweep"];
+pub const WORKLOADS: &[&str] = &[
+    "standard",
+    "streaming",
+    "streaming-throughput",
+    "sweep",
+    "kernel",
+];
 
 /// Default steady-state repetitions per workload.
 pub const DEFAULT_REPS: usize = 3;
@@ -109,6 +125,7 @@ pub fn run_workload(name: &str, reps: usize) -> Result<WorkloadRun, String> {
             run_generic("streaming-throughput", reps, streaming_throughput_iteration)
         }
         "sweep" => run_generic("sweep", reps, sweep_iteration),
+        "kernel" => run_generic("kernel", reps, kernel_iteration),
         other => Err(format!(
             "unknown workload {other:?} (registry: {})",
             WORKLOADS.join(", ")
@@ -219,6 +236,75 @@ fn streaming_throughput_iteration(recorder: &dyn Recorder) -> Result<(), String>
     Ok(())
 }
 
+/// The kernel microbench's window shapes: the standard 300-point window
+/// (4-point tail past the last full 8-point chunk), an 8-aligned
+/// 304-point window (no tail), and a short 37-point resampled candidate.
+pub const KERNEL_SHAPES: [usize; 3] = [300, 304, 37];
+
+/// Windows per shape in the kernel microbench (all-pairs nearest-neighbor
+/// → `KERNEL_WINDOWS * (KERNEL_WINDOWS - 1)` distance calls per shape).
+pub const KERNEL_WINDOWS: usize = 64;
+
+/// Distance-kernel microbench: pre-z-normalizes a deterministic window
+/// population once via the prefix-sum statistics layer ([`SeriesStats`]),
+/// then runs an all-pairs nearest-neighbor loop per shape in
+/// [`KERNEL_SHAPES`] so both the completed and early-abandoned kernel
+/// paths stay hot. Counters (distance calls, abandons) are deterministic;
+/// the wall time isolates statistics + kernel throughput.
+fn kernel_iteration(recorder: &dyn Recorder) -> Result<(), String> {
+    let data = ecg_record("bench kernel", 8_192, 256, 2, 0x256);
+    let values = data.series.values();
+    let stats = SeriesStats::new(values);
+    for len in KERNEL_SHAPES {
+        kernel_shape_pass(recorder, values, &stats, len)?;
+    }
+    Ok(())
+}
+
+/// One shape of the kernel microbench: z-norm [`KERNEL_WINDOWS`] evenly
+/// spaced windows of `len` points, then find each window's nearest
+/// neighbor among the others with the early-abandoning kernel.
+pub fn kernel_shape_pass(
+    recorder: &dyn Recorder,
+    values: &[f64],
+    stats: &SeriesStats,
+    len: usize,
+) -> Result<(), String> {
+    let count = KERNEL_WINDOWS;
+    let step = (values.len() - len) / (count - 1);
+    let mut normed = vec![0.0; count * len];
+    for w in 0..count {
+        let start = w * step;
+        stats.znorm_window_into(
+            values,
+            start,
+            start + len,
+            DEFAULT_ZNORM_THRESHOLD,
+            &mut normed[w * len..(w + 1) * len],
+        );
+    }
+    for p in 0..count {
+        let mut nearest = f64::INFINITY;
+        for q in 0..count {
+            if p == q {
+                continue;
+            }
+            if let Some(d) = euclidean_early(
+                &recorder,
+                &normed[p * len..(p + 1) * len],
+                &normed[q * len..(q + 1) * len],
+                nearest,
+            ) {
+                nearest = d;
+            }
+        }
+        if !nearest.is_finite() {
+            return Err(format!("kernel shape {len}: window {p} found no neighbor"));
+        }
+    }
+    Ok(())
+}
+
 /// A small discretization-parameter sweep running both detectors per grid
 /// point — the cost shape of `fig10` at smoke-test scale.
 fn sweep_iteration(recorder: &dyn Recorder) -> Result<(), String> {
@@ -295,6 +381,26 @@ mod tests {
             "bounded-horizon workload reported no evicted tokens"
         );
         assert!(run.wall_ns > 0);
+    }
+
+    /// The kernel microbench is deterministic in its counters (seeded
+    /// data, fixed shapes, sequential loop) and must exercise both the
+    /// completed and the early-abandoned kernel paths — the two code
+    /// paths whose throughput `gv bench diff` gates.
+    #[test]
+    fn kernel_workload_counts_deterministically() {
+        let a = run_workload("kernel", 1).unwrap();
+        let b = run_workload("kernel", 1).unwrap();
+        let calls = a.trace.counter(gv_obs::Counter::DistanceCalls);
+        let abandons = a.trace.counter(gv_obs::Counter::EarlyAbandons);
+        // All-pairs over KERNEL_WINDOWS windows, once per shape.
+        let expect = (KERNEL_SHAPES.len() * KERNEL_WINDOWS * (KERNEL_WINDOWS - 1)) as u64;
+        assert_eq!(calls, expect);
+        assert!(abandons > 0, "no early abandons — the abandon path is cold");
+        assert!(abandons < calls);
+        assert_eq!(calls, b.trace.counter(gv_obs::Counter::DistanceCalls));
+        assert_eq!(abandons, b.trace.counter(gv_obs::Counter::EarlyAbandons));
+        assert!(a.wall_ns > 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use gv_obs::{
     Stage,
 };
 use gv_sequitur::RuleId;
-use gv_timeseries::{resample_to, znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
+use gv_timeseries::{Interval, Resampled, SeriesStats, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -211,29 +211,23 @@ pub fn discords_with_options_recorded<R: Recorder>(
     )
 }
 
-/// Per-evaluation reusable buffers: the z-normalized candidate, the
-/// z-normalized match, and the match resampled onto the candidate length.
+/// Reusable z-normalization scratch for the *reference* paths
+/// ([`reference_nn`], [`reference_rank`], [`nn_distance_profile`]),
+/// which normalize candidate windows on the fly instead of building the
+/// search-wide cache. The search itself no longer needs per-evaluation
+/// buffers: normal forms come from the cache, and length-mismatched
+/// matches are resampled lazily inside the fused kernel
+/// ([`distance::euclidean_early_resampled`]) — nothing is materialized.
 #[derive(Debug, Default)]
 pub(crate) struct EvalBufs {
     p_z: Vec<f64>,
     q_z: Vec<f64>,
-    q_rs: Vec<f64>,
-}
-
-impl EvalBufs {
-    pub(crate) fn max_capacity(&self) -> usize {
-        self.p_z
-            .capacity()
-            .max(self.q_z.capacity())
-            .max(self.q_rs.capacity())
-    }
 }
 
 /// Reusable scratch state for the Algorithm 1 search: visit orders, the
-/// sibling index, the per-rank active list, and the evaluation buffers
-/// (one set for the sequential path, one per worker for the parallel
-/// path). Held inside an engine `Workspace` so repeated searches stop
-/// re-allocating after warm-up.
+/// sibling index, the per-rank active list, the prefix-sum statistics,
+/// and the per-candidate normal-form cache. Held inside an engine
+/// `Workspace` so repeated searches stop re-allocating after warm-up.
 #[derive(Debug, Default)]
 pub(crate) struct RraScratch {
     outer: Vec<usize>,
@@ -249,8 +243,19 @@ pub(crate) struct RraScratch {
     /// pairs stay in ascending candidate order, so sibling iteration
     /// matches the original insertion-order lists exactly.
     sib_pairs: Vec<(RuleId, u32)>,
-    bufs: EvalBufs,
-    workers: Vec<EvalBufs>,
+    /// Prefix-sum statistics over the searched series: O(1),
+    /// cancellation-safe window mean/std shared by every z-normalization
+    /// in the search (DESIGN.md §12).
+    stats: SeriesStats,
+    /// Flat per-candidate z-normalized normal forms, computed **once per
+    /// search** instead of once per comparison. Candidate `i` occupies
+    /// `norms[norm_off[i] as usize..norm_off[i + 1] as usize]`. Rebuilt
+    /// at the top of every `search_in` call (the cache is valid only for
+    /// that call's `(values, candidates)` pair — invalidation is simply
+    /// the rebuild), then shared read-only by the sequential path, every
+    /// parallel worker, and each rank.
+    norms: Vec<f64>,
+    norm_off: Vec<u32>,
 }
 
 impl RraScratch {
@@ -263,10 +268,44 @@ impl RraScratch {
             self.active.capacity(),
             self.completed.capacity(),
             self.sib_pairs.capacity(),
-            self.bufs.max_capacity(),
-            self.workers.iter().map(EvalBufs::max_capacity).sum(),
+            self.stats.capacity(),
+            self.norms.capacity().max(self.norm_off.capacity()),
         ]
     }
+}
+
+/// Builds the per-candidate normal-form cache: each candidate window
+/// z-normalized via the prefix-sum statistics, laid out back to back in
+/// `norms` with `norm_off` offsets (one more entry than candidates).
+fn build_norm_cache(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    stats: &SeriesStats,
+    norms: &mut Vec<f64>,
+    norm_off: &mut Vec<u32>,
+) {
+    norms.clear();
+    norm_off.clear();
+    norm_off.reserve(candidates.len() + 1);
+    norm_off.push(0);
+    for c in candidates {
+        let lo = norms.len();
+        norms.resize(lo + c.interval.len(), 0.0);
+        stats.znorm_window_into(
+            values,
+            c.interval.start,
+            c.interval.end,
+            DEFAULT_ZNORM_THRESHOLD,
+            &mut norms[lo..],
+        );
+        norm_off.push(norms.len() as u32);
+    }
+}
+
+/// Candidate `i`'s cached z-normalized form.
+#[inline]
+fn cached_norm<'a>(norms: &'a [f64], norm_off: &[u32], i: usize) -> &'a [f64] {
+    &norms[norm_off[i] as usize..norm_off[i + 1] as usize]
 }
 
 /// The sorted-pairs sibling lookup: all candidates of `rule`, ascending.
@@ -318,14 +357,14 @@ fn eligible(
 /// reads the shared atomic so workers prune against each other's results.
 #[allow(clippy::too_many_arguments)]
 fn scan_candidate<F: Fn() -> f64>(
-    values: &[f64],
     candidates: &[RuleInterval],
+    norms: &[f64],
+    norm_off: &[u32],
     pi: usize,
     sib_pairs: &[(RuleId, u32)],
     inner: &[usize],
     options: SearchOptions,
     bound: F,
-    bufs: &mut EvalBufs,
     local: &LocalRecorder,
     detail: bool,
     timing: bool,
@@ -346,13 +385,7 @@ fn scan_candidate<F: Fn() -> f64>(
             ..Event::new(EventKind::Visited)
         });
     }
-    let EvalBufs { p_z, q_z, q_rs } = bufs;
-    p_z.resize(p_len, 0.0);
-    znorm_into(
-        &values[p.interval.start..p.interval.end],
-        DEFAULT_ZNORM_THRESHOLD,
-        p_z,
-    );
+    let p_z = cached_norm(norms, norm_off, pi);
 
     let mut nearest = f64::INFINITY;
     let mut pruned = false;
@@ -371,11 +404,8 @@ fn scan_candidate<F: Fn() -> f64>(
                     continue;
                 }
                 evaluate(
-                    values,
                     p_z,
-                    q,
-                    q_z,
-                    q_rs,
+                    cached_norm(norms, norm_off, qi),
                     local,
                     &mut nearest,
                     options.early_abandon,
@@ -403,11 +433,8 @@ fn scan_candidate<F: Fn() -> f64>(
                 continue;
             }
             evaluate(
-                values,
                 p_z,
-                q,
-                q_z,
-                q_rs,
+                cached_norm(norms, norm_off, qi),
                 local,
                 &mut nearest,
                 options.early_abandon,
@@ -500,9 +527,17 @@ pub(crate) fn search_in<R: Recorder>(
         active,
         completed,
         sib_pairs,
-        bufs,
-        workers,
+        stats,
+        norms,
+        norm_off,
     } = scratch;
+
+    // Prefix-sum statistics + per-candidate normal forms, once per
+    // search. Every rank, worker, and reference replay below reads these
+    // same cached bits, so pruning order and thread count cannot change
+    // any distance.
+    stats.rebuild(values);
+    build_norm_cache(values, candidates, stats, norms, norm_off);
 
     // Outer: ascending frequency, random within ties.
     outer.clear();
@@ -531,13 +566,13 @@ pub(crate) fn search_in<R: Recorder>(
     for rank in 0..k {
         let selected = if threads > 1 {
             parallel_rank(
-                values, candidates, outer, inner, active, completed, sib_pairs, workers, &found,
+                candidates, norms, norm_off, outer, inner, active, completed, sib_pairs, &found,
                 options, threads, &local, detail, timing, outer_span,
             )
         } else {
             sequential_rank(
-                values, candidates, outer, inner, sib_pairs, bufs, &found, options, &local, detail,
-                timing, inner_span,
+                candidates, norms, norm_off, outer, inner, sib_pairs, &found, options, &local,
+                detail, timing, inner_span,
             )
         };
         match selected {
@@ -575,12 +610,12 @@ pub(crate) fn search_in<R: Recorder>(
 /// index and its NN distance.
 #[allow(clippy::too_many_arguments)]
 fn sequential_rank(
-    values: &[f64],
     candidates: &[RuleInterval],
+    norms: &[f64],
+    norm_off: &[u32],
     outer: &[usize],
     inner: &[usize],
     sib_pairs: &[(RuleId, u32)],
-    bufs: &mut EvalBufs,
     found: &[DiscordRecord],
     options: SearchOptions,
     local: &LocalRecorder,
@@ -596,14 +631,14 @@ fn sequential_rank(
         }
         let bound = best_dist;
         let (nearest, pruned) = scan_candidate(
-            values,
             candidates,
+            norms,
+            norm_off,
             pi,
             sib_pairs,
             inner,
             options,
             || bound,
-            bufs,
             local,
             detail,
             timing,
@@ -629,14 +664,14 @@ fn sequential_rank(
 /// docs for the argument).
 #[allow(clippy::too_many_arguments)]
 fn parallel_rank(
-    values: &[f64],
     candidates: &[RuleInterval],
+    norms: &[f64],
+    norm_off: &[u32],
     outer: &[usize],
     inner: &[usize],
     active: &mut Vec<u32>,
     completed: &mut Vec<(u32, f64)>,
     sib_pairs: &[(RuleId, u32)],
-    workers: &mut Vec<EvalBufs>,
     found: &[DiscordRecord],
     options: SearchOptions,
     threads: usize,
@@ -658,20 +693,16 @@ fn parallel_rank(
         return None;
     }
     let threads = threads.min(active.len());
-    if workers.len() < threads {
-        workers.resize_with(threads, EvalBufs::default);
-    }
     let bound = AtomicU64::new((-1.0f64).to_bits());
     let active_ref: &[u32] = active;
     let inner_ref: &[usize] = inner;
     let sib_ref: &[(RuleId, u32)] = sib_pairs;
+    let norms_ref: &[f64] = norms;
+    let off_ref: &[u32] = norm_off;
 
     let worker_results: Vec<(LocalRecorder, Vec<(u32, f64)>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = workers
-            .iter_mut()
-            .take(threads)
-            .enumerate()
-            .map(|(t, bufs)| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
                 let bound = &bound;
                 s.spawn(move || {
                     let wlocal = if detail {
@@ -692,14 +723,14 @@ fn parallel_rank(
                     let mut wcompleted: Vec<(u32, f64)> = Vec::new();
                     for (ai, &pi32) in active_ref.iter().enumerate().skip(t).step_by(threads) {
                         let (nearest, pruned) = scan_candidate(
-                            values,
                             candidates,
+                            norms_ref,
+                            off_ref,
                             pi32 as usize,
                             sib_ref,
                             inner_ref,
                             options,
                             || f64::from_bits(bound.load(Ordering::Relaxed)),
-                            bufs,
                             &wlocal,
                             detail,
                             timing,
@@ -763,36 +794,36 @@ fn admissible(p: &RuleInterval, q: &RuleInterval) -> bool {
 }
 
 // gv-lint: hot
-/// One inner-loop distance evaluation: z-normalize `q`, resample it onto
-/// `p`'s length, take the Eq. (1) distance with early abandoning against
-/// the current `nearest`. The scratch buffers are caller-owned precisely
-/// so this innermost call allocates nothing in the steady state (`resize`
-/// only grows them on the first few calls).
-#[allow(clippy::too_many_arguments)]
+/// One inner-loop distance evaluation over **precomputed** z-normalized
+/// forms. Equal lengths go straight through the chunked kernel (the n→n
+/// resample is a bit-exact identity, so nothing is lost by skipping it);
+/// differing lengths take the **fused** kernel, which interpolates the
+/// match through a lazy [`Resampled`] view chunk by chunk — bitwise the
+/// materialize-then-compare result, but an early-abandoned comparison
+/// only pays for the points it actually consumed, and the innermost call
+/// allocates nothing at all (DESIGN.md §12).
 fn evaluate<R: Recorder>(
-    values: &[f64],
     p_z: &[f64],
-    q: &RuleInterval,
-    buf_q: &mut Vec<f64>,
-    buf_q_rs: &mut Vec<f64>,
+    q_z: &[f64],
     recorder: &R,
     nearest: &mut f64,
     early_abandon: bool,
 ) {
-    let q_raw = &values[q.interval.start..q.interval.end];
-    if q_raw.is_empty() {
+    if q_z.is_empty() {
         return;
     }
-    buf_q.resize(q_raw.len(), 0.0);
-    znorm_into(q_raw, DEFAULT_ZNORM_THRESHOLD, buf_q);
-    buf_q_rs.resize(p_z.len(), 0.0);
-    resample_to(buf_q, buf_q_rs);
     let abandon_at = if early_abandon {
         *nearest
     } else {
         f64::INFINITY
     };
-    if let Some(d) = distance::normalized_euclidean_early(recorder, p_z, buf_q_rs, abandon_at) {
+    let d = if q_z.len() == p_z.len() {
+        distance::normalized_euclidean_early(recorder, p_z, q_z, abandon_at)
+    } else {
+        let q = Resampled::new(q_z, p_z.len());
+        distance::normalized_euclidean_early_resampled(recorder, p_z, &q, abandon_at)
+    };
+    if let Some(d) = d {
         if d < *nearest {
             *nearest = d;
         }
@@ -806,20 +837,36 @@ fn evaluate<R: Recorder>(
 /// verification compares the search against. Returns `f64::INFINITY` when
 /// the candidate has no admissible match.
 ///
-/// The distances go through the exact same `znorm → resample → Eq. (1)`
-/// code path as the search, and a completed candidate's running minimum is
+/// The distances go through the exact same statistics source
+/// ([`SeriesStats`] prefix sums) and `znorm → resample → Eq. (1)` kernel
+/// as the search, and a completed candidate's running minimum is
 /// order-independent, so the result is **bit-identical** to the nearest
 /// distance Algorithm 1 reports for a completed candidate.
 pub fn reference_nn(values: &[f64], candidates: &[RuleInterval], pi: usize) -> f64 {
+    let stats = SeriesStats::new(values);
+    reference_nn_with(values, candidates, pi, &stats, &mut EvalBufs::default())
+}
+
+/// [`reference_nn`] against caller-built statistics and buffers, so the
+/// per-candidate replays of [`reference_rank`] and the profile share one
+/// prefix build.
+fn reference_nn_with(
+    values: &[f64],
+    candidates: &[RuleInterval],
+    pi: usize,
+    stats: &SeriesStats,
+    bufs: &mut EvalBufs,
+) -> f64 {
     let p = &candidates[pi];
     if p.interval.is_empty() {
         return f64::INFINITY;
     }
-    let mut bufs = EvalBufs::default();
-    let EvalBufs { p_z, q_z, q_rs } = &mut bufs;
+    let EvalBufs { p_z, q_z } = bufs;
     p_z.resize(p.interval.len(), 0.0);
-    znorm_into(
-        &values[p.interval.start..p.interval.end],
+    stats.znorm_window_into(
+        values,
+        p.interval.start,
+        p.interval.end,
         DEFAULT_ZNORM_THRESHOLD,
         p_z,
     );
@@ -828,7 +875,18 @@ pub fn reference_nn(values: &[f64], candidates: &[RuleInterval], pi: usize) -> f
         if qi == pi || !admissible(p, q) {
             continue;
         }
-        evaluate(values, p_z, q, q_z, q_rs, &NoopRecorder, &mut nearest, true);
+        if q.interval.is_empty() {
+            continue;
+        }
+        q_z.resize(q.interval.len(), 0.0);
+        stats.znorm_window_into(
+            values,
+            q.interval.start,
+            q.interval.end,
+            DEFAULT_ZNORM_THRESHOLD,
+            q_z,
+        );
+        evaluate(p_z, q_z, &NoopRecorder, &mut nearest, true);
     }
     nearest
 }
@@ -858,12 +916,14 @@ pub fn reference_rank(
         .filter_map(|(i, c)| c.rule.map(|r| (r, i as u32)))
         .collect();
     sib_pairs.sort_unstable();
+    let stats = SeriesStats::new(values);
+    let mut bufs = EvalBufs::default();
     let mut best: Option<(usize, f64)> = None;
     for pi in 0..candidates.len() {
         if !eligible(candidates, pi, &sib_pairs, found) {
             continue;
         }
-        let nearest = reference_nn(values, candidates, pi);
+        let nearest = reference_nn_with(values, candidates, pi, &stats, &mut bufs);
         if nearest.is_finite() && best.is_none_or(|(_, bn)| nearest > bn) {
             best = Some((pi, nearest));
         }
@@ -880,11 +940,11 @@ pub fn reference_rank(
 /// (the search never considers it an outer candidate, so including it here
 /// would make the profile's maximum disagree with the search's result).
 pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(Interval, f64)> {
-    // One reusable buffer set for the whole profile — including the
-    // z-normalized candidate, which used to be a fresh allocation per
-    // candidate.
+    // One prefix build and one reusable buffer set for the whole profile
+    // — the same statistics source as the search, so profile maxima and
+    // search results agree bit for bit.
+    let stats = SeriesStats::new(values);
     let mut bufs = EvalBufs::default();
-    let EvalBufs { p_z, q_z, q_rs } = &mut bufs;
     let mut out = Vec::with_capacity(candidates.len());
     for (pi, p) in candidates.iter().enumerate() {
         if p.interval.is_empty() {
@@ -899,19 +959,7 @@ pub fn nn_distance_profile(values: &[f64], candidates: &[RuleInterval]) -> Vec<(
                 continue;
             }
         }
-        p_z.resize(p.interval.len(), 0.0);
-        znorm_into(
-            &values[p.interval.start..p.interval.end],
-            DEFAULT_ZNORM_THRESHOLD,
-            p_z,
-        );
-        let mut nearest = f64::INFINITY;
-        for (qi, q) in candidates.iter().enumerate() {
-            if qi == pi || !admissible(p, q) {
-                continue;
-            }
-            evaluate(values, p_z, q, q_z, q_rs, &NoopRecorder, &mut nearest, true);
-        }
+        let nearest = reference_nn_with(values, candidates, pi, &stats, &mut bufs);
         if nearest.is_finite() {
             out.push((p.interval, nearest));
         }
@@ -982,6 +1030,51 @@ mod tests {
             "reported {} vs exhaustive max {max}",
             d.distance
         );
+    }
+
+    /// Satellite regression for the catastrophic-cancellation bug: the
+    /// full pipeline (SAX discretization → grammar → RRA search) on a
+    /// series riding a 1e8 baseline must produce nonzero per-window σ
+    /// and find the same discord (position, length, rank) as the
+    /// baseline-0 twin. Under the old `E[x²]−E[x]²` statistics every
+    /// window's variance cancelled below ulp at this offset, z-norm
+    /// degraded to mean subtraction, SAX words collapsed, and the
+    /// planted anomaly was silently missed.
+    #[test]
+    fn large_baseline_offset_finds_the_same_discord() {
+        let v0 = planted();
+        let v1: Vec<f64> = v0.iter().map(|x| x + 1e8).collect();
+
+        // Every window keeps its spread at the offset.
+        let stats = SeriesStats::new(&v1);
+        for start in (0..v1.len() - 100).step_by(50) {
+            let (_, sd) = stats.mean_std(start, start + 100);
+            assert!(sd > 0.1, "window [{start}..) lost its σ at 1e8 baseline");
+        }
+
+        // Identical discretization → identical candidate intervals.
+        let c0 = candidates_from(&v0, 100, 5, 4);
+        let c1 = candidates_from(&v1, 100, 5, 4);
+        assert_eq!(
+            c0.iter().map(|c| c.interval).collect::<Vec<_>>(),
+            c1.iter().map(|c| c.interval).collect::<Vec<_>>(),
+            "candidate intervals diverged at 1e8 baseline"
+        );
+
+        // Same discord, same rank (distances may differ in the last bits
+        // — the offset costs ~1e-8 absolute precision in the z-normed
+        // values — so the assertion is on identity, not bits).
+        let r0 = discords_from_intervals(&v0, &c0, 1, 0).unwrap();
+        let r1 = discords_from_intervals(&v1, &c1, 1, 0).unwrap();
+        assert_eq!(r0.discords.len(), 1);
+        assert_eq!(r1.discords.len(), 1);
+        let (d0, d1) = (&r0.discords[0], &r1.discords[0]);
+        assert_eq!(
+            (d0.position, d0.length, d0.rank),
+            (d1.position, d1.length, d1.rank),
+            "discord diverged at 1e8 baseline"
+        );
+        assert!((d0.distance - d1.distance).abs() < 1e-6);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! small Table 1 rows); for the large rows the call count is available
 //! analytically via [`brute_force_call_count`].
 
-use gv_timeseries::znorm_into;
 use gv_timeseries::Interval;
+use gv_timeseries::SeriesStats;
 use gv_timeseries::DEFAULT_ZNORM_THRESHOLD;
 
 use crate::error::{Error, Result};
@@ -77,12 +77,18 @@ pub fn brute_force_discords_in(
     let mut stats = SearchStats::default();
     let mut found: Vec<DiscordRecord> = Vec::new();
 
-    // Pre-normalize every window once: O(count * n) memory would be heavy
-    // for large inputs, but brute force is only run on small series anyway.
+    // Pre-normalize every window once via prefix-sum statistics — the
+    // same cancellation-safe source the RRA and HOTSAX paths use, so the
+    // gv-check differentials stay bit-identical. O(count * n) memory
+    // would be heavy for large inputs, but brute force is only run on
+    // small series anyway.
+    let wstats = SeriesStats::new(values);
     normed.resize(count * n, 0.0);
     for p in 0..count {
-        znorm_into(
-            &values[p..p + n],
+        wstats.znorm_window_into(
+            values,
+            p,
+            p + n,
             DEFAULT_ZNORM_THRESHOLD,
             &mut normed[p * n..(p + 1) * n],
         );

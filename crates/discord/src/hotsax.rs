@@ -16,7 +16,7 @@
 //! early against the current `nearest`.
 
 use gv_sax::{NumerosityReduction, SaxConfig};
-use gv_timeseries::{znorm_into, Interval, DEFAULT_ZNORM_THRESHOLD};
+use gv_timeseries::{Interval, SeriesStats, DEFAULT_ZNORM_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -85,6 +85,10 @@ pub struct HotSaxScratch {
     inner: Vec<u32>,
     buf_p: Vec<f64>,
     buf_q: Vec<f64>,
+    /// Prefix-sum window statistics over the searched series — the same
+    /// cancellation-safe statistics source as the RRA and brute-force
+    /// paths, rebuilt per search.
+    stats: SeriesStats,
 }
 
 impl HotSaxScratch {
@@ -95,7 +99,7 @@ impl HotSaxScratch {
 
     /// Current capacities of the reusable buffers, for allocation-stability
     /// assertions.
-    pub fn capacities(&self) -> [usize; 7] {
+    pub fn capacities(&self) -> [usize; 8] {
         [
             self.records.capacity(),
             self.zbuf.capacity(),
@@ -104,6 +108,7 @@ impl HotSaxScratch {
             self.outer.capacity(),
             self.inner.capacity(),
             self.buf_p.capacity().max(self.buf_q.capacity()),
+            self.stats.capacity(),
         ]
     }
 }
@@ -194,6 +199,8 @@ pub fn hotsax_discords_in(
     let mut meter = DistanceMeter::new();
     let mut stats = SearchStats::default();
     let mut found: Vec<DiscordRecord> = Vec::new();
+    scratch.stats.rebuild(values);
+    let wstats = &scratch.stats;
     let buf_p = &mut scratch.buf_p;
     let buf_q = &mut scratch.buf_q;
     buf_p.resize(n, 0.0);
@@ -209,7 +216,7 @@ pub fn hotsax_discords_in(
             if found.iter().any(|d| d.interval().overlaps(&p_iv)) {
                 continue;
             }
-            znorm_into(&values[p..p + n], DEFAULT_ZNORM_THRESHOLD, buf_p);
+            wstats.znorm_window_into(values, p, p + n, DEFAULT_ZNORM_THRESHOLD, buf_p);
             let mut nearest = f64::INFINITY;
             let mut pruned = false;
 
@@ -220,7 +227,7 @@ pub fn hotsax_discords_in(
                 if p.abs_diff(q) < n {
                     continue;
                 }
-                znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, buf_q);
+                wstats.znorm_window_into(values, q, q + n, DEFAULT_ZNORM_THRESHOLD, buf_q);
                 if let Some(d) = meter.euclidean_early(buf_p, buf_q, nearest) {
                     if d < nearest {
                         nearest = d;
@@ -239,7 +246,7 @@ pub fn hotsax_discords_in(
                     if bucket_of[q] == bucket_of[p] || p.abs_diff(q) < n {
                         continue;
                     }
-                    znorm_into(&values[q..q + n], DEFAULT_ZNORM_THRESHOLD, buf_q);
+                    wstats.znorm_window_into(values, q, q + n, DEFAULT_ZNORM_THRESHOLD, buf_q);
                     if let Some(d) = meter.euclidean_early(buf_p, buf_q, nearest) {
                         if d < nearest {
                             nearest = d;

@@ -30,6 +30,7 @@ mod io;
 mod period;
 mod resample;
 mod series;
+mod series_stats;
 mod stats;
 mod window;
 mod znorm;
@@ -39,8 +40,9 @@ pub use error::{Error, Result};
 pub use interval::{merge_intervals, Interval};
 pub use io::{read_csv_column, read_csv_column_reader, write_csv_column, write_csv_columns};
 pub use period::{autocorrelation, dominant_period, suggest_window};
-pub use resample::{resample_linear, resample_to};
+pub use resample::{resample_linear, resample_to, Resampled};
 pub use series::{find_non_finite, TimeSeries};
+pub use series_stats::SeriesStats;
 pub use stats::{argmax, argmin, max, mean, mean_std, min, std_dev, RunningStats};
 pub use window::{subsequence, SlidingWindows};
-pub use znorm::{znorm, znorm_into, DEFAULT_ZNORM_THRESHOLD};
+pub use znorm::{znorm, znorm_into, znorm_with_into, DEFAULT_ZNORM_THRESHOLD};

@@ -46,14 +46,34 @@ pub fn znorm_into(values: &[f64], threshold: f64, out: &mut [f64]) {
         return;
     }
     let (m, sd) = mean_std(values);
-    if sd < threshold {
+    znorm_with_into(values, m, sd, threshold, out);
+}
+
+/// Z-normalizes `values` into `out` using caller-supplied statistics.
+///
+/// The arithmetic is bit-identical to [`znorm_into`] given the same
+/// `(mean, std_dev)` pair — this is the seam that lets
+/// [`crate::SeriesStats`] (O(1) prefix-sum window statistics) and the
+/// two-pass [`mean_std`] share one normalization kernel, so every
+/// distance path in the system z-normalizes the same way regardless of
+/// where the statistics came from.
+///
+/// # Panics
+/// Panics when `out.len() != values.len()`.
+pub fn znorm_with_into(values: &[f64], mean: f64, std_dev: f64, threshold: f64, out: &mut [f64]) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "znorm_with_into: buffer length mismatch"
+    );
+    if std_dev < threshold {
         for (o, &v) in out.iter_mut().zip(values) {
-            *o = v - m;
+            *o = v - mean;
         }
     } else {
-        let inv = 1.0 / sd;
+        let inv = 1.0 / std_dev;
         for (o, &v) in out.iter_mut().zip(values) {
-            *o = (v - m) * inv;
+            *o = (v - mean) * inv;
         }
     }
 }
@@ -98,6 +118,16 @@ mod tests {
         let v = [1.0, 3.0, 2.0, 5.0];
         let z = znorm(&v, DEFAULT_ZNORM_THRESHOLD);
         assert!(z[0] < z[2] && z[2] < z[1] && z[1] < z[3]);
+    }
+
+    #[test]
+    fn with_into_matches_into_bit_for_bit() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let z = znorm(&v, DEFAULT_ZNORM_THRESHOLD);
+        let (m, sd) = crate::stats::mean_std(&v);
+        let mut z2 = vec![0.0; v.len()];
+        znorm_with_into(&v, m, sd, DEFAULT_ZNORM_THRESHOLD, &mut z2);
+        assert!(z.iter().zip(&z2).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]
