@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 /// Options that are switches, not `--key value` pairs: their presence
 /// alone means "on", so the parser must not consume the next token.
-const BOOL_FLAGS: &[&str] = &["trace", "timing", "fail-on-breach"];
+const BOOL_FLAGS: &[&str] = &["trace", "timing", "fail-on-breach", "prune-baseline"];
 
 /// Commands that take a second positional argument (an action), like
 /// `gv bench diff`. Every other command rejects extra positionals.

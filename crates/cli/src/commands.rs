@@ -34,7 +34,10 @@ commands:
   check     verify the paper invariants on a series (PASS/FAIL report),
             or scan a run ledger for result drift (--ledger PATH)
   lint      check the workspace source against the project's contracts
-            (determinism, hot-path allocation, error handling; --root DIR)
+            (determinism, hot-path allocation, error handling, and the
+            interprocedural panic/alloc-reachability and determinism-taint
+            rules; --root DIR, --format text|sarif, --prune-baseline
+            rewrites lint.toml with stale entries dropped)
   demo      run density + RRA on a built-in synthetic dataset
   bench     perf-regression harness over the deterministic workload
             registry: `bench run` appends to a history file, `bench diff`
@@ -127,7 +130,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "timing",
             "horizon",
         ]),
-        "lint" => Some(&["root"]),
+        "lint" => Some(&["root", "format", "prune-baseline"]),
         "check" => Some(&[
             "file", "column", "window", "paa", "alphabet", "top", "threads", "ledger",
         ]),
@@ -824,9 +827,12 @@ fn check(args: &Args) -> Result<(), String> {
 }
 
 /// `gv lint` — run the project's static-analysis contracts (gv-lint)
-/// over the workspace and print the report with its per-rule tally.
-/// Fails (non-zero exit through `main`) on any surviving violation, the
-/// same verdict the `gv_lint` CI gate enforces.
+/// over the workspace and print the report with its per-rule tally
+/// (`--format text`, the default) or as SARIF 2.1.0 for code-scanning
+/// upload (`--format sarif`). `--prune-baseline` rewrites `lint.toml`
+/// with entries that no longer match any finding removed. Fails
+/// (non-zero exit through `main`) on any surviving violation, the same
+/// verdict the `gv_lint` CI gate enforces.
 fn lint(args: &Args) -> Result<(), String> {
     let root = match args.get("root") {
         Some(dir) => std::path::PathBuf::from(dir),
@@ -836,8 +842,34 @@ fn lint(args: &Args) -> Result<(), String> {
                 .ok_or("no workspace root found above the current directory (try --root)")?
         }
     };
-    let report = gv_lint::run(&root).map_err(|e| e.to_string())?;
-    print!("{}", gv_lint::report::render(&report));
+    let (report, baseline) = gv_lint::run_full(&root).map_err(|e| e.to_string())?;
+    if args.flag("prune-baseline") {
+        let path = root.join("lint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(original) => {
+                let pruned = baseline.render_pruned(&original);
+                if pruned == original {
+                    eprintln!("gv lint: lint.toml already minimal, nothing pruned");
+                } else {
+                    std::fs::write(&path, &pruned)
+                        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                    let dropped = baseline.entries.iter().filter(|e| !e.used.get()).count();
+                    if dropped == 0 {
+                        eprintln!("gv lint: normalized lint.toml (no stale entries)");
+                    } else {
+                        let noun = if dropped == 1 { "entry" } else { "entries" };
+                        eprintln!("gv lint: pruned {dropped} stale baseline {noun} from lint.toml");
+                    }
+                }
+            }
+            Err(_) => eprintln!("gv lint: no lint.toml at the workspace root, nothing to prune"),
+        }
+    }
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", gv_lint::report::render(&report)),
+        "sarif" => print!("{}", gv_lint::sarif::render(&report)),
+        other => return Err(format!("unknown --format {other:?} (expected text|sarif)")),
+    }
     if report.is_clean() {
         Ok(())
     } else {

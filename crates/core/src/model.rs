@@ -47,6 +47,7 @@ impl GrammarModel {
     /// # Panics
     /// Panics on an empty span or out-of-range tokens.
     pub fn token_span_to_interval(&self, token_start: usize, token_len: usize) -> Interval {
+        // gv-lint: allow(panic-reachability) documented `# Panics` precondition: an empty token span is a caller bug
         assert!(token_len > 0, "empty token span");
         let start = self.records[token_start].offset;
         let last = self.records[token_start + token_len - 1].offset;

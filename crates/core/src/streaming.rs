@@ -220,6 +220,7 @@ impl<R: Recorder> StreamingDetector<R> {
     /// Panics when points have already been consumed.
     #[must_use]
     pub fn with_horizon(mut self, horizon: usize) -> Self {
+        // gv-lint: allow(panic-reachability) documented `# Panics` precondition: builder misuse, fires before any point streams
         assert_eq!(self.seen, 0, "set the horizon before streaming");
         self.horizon = if horizon == 0 {
             0
@@ -425,6 +426,7 @@ impl<R: Recorder> StreamingDetector<R> {
                 );
             }
             if self.curve_dirty {
+                // gv-lint: allow(alloc-reachability) cold fallback: recount_curve runs only when a journal event lost its anchor; the steady-state path never sets curve_dirty
                 self.recount_curve();
             }
         }

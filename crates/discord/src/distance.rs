@@ -103,6 +103,7 @@ pub fn euclidean_early<R: Recorder>(
     b: &[f64],
     abandon_at: f64,
 ) -> Option<f64> {
+    // gv-lint: allow(panic-reachability) documented `# Panics` precondition: mismatched subsequence lengths are a caller bug
     assert_eq!(a.len(), b.len(), "euclidean_early: length mismatch");
     recorder.incr(Counter::DistanceCalls);
     let timer = DetailTimer::start(recorder, Metric::DistanceNanos);
@@ -172,6 +173,7 @@ pub fn euclidean_early_resampled<R: Recorder>(
     b: &Resampled<'_>,
     abandon_at: f64,
 ) -> Option<f64> {
+    // gv-lint: allow(panic-reachability) documented `# Panics` precondition: mismatched subsequence lengths are a caller bug
     assert_eq!(
         a.len(),
         b.len(),
@@ -217,6 +219,7 @@ pub fn normalized_euclidean_early_resampled<R: Recorder>(
     b: &Resampled<'_>,
     abandon_at: f64,
 ) -> Option<f64> {
+    // gv-lint: allow(panic-reachability) documented `# Panics` precondition: an empty subsequence is a caller bug
     assert!(!a.is_empty(), "normalized distance of empty subsequence");
     let len = a.len() as f64;
     let raw_limit = if abandon_at.is_finite() {
@@ -241,6 +244,7 @@ pub fn normalized_euclidean_early<R: Recorder>(
     b: &[f64],
     abandon_at: f64,
 ) -> Option<f64> {
+    // gv-lint: allow(panic-reachability) documented `# Panics` precondition: an empty subsequence is a caller bug
     assert!(!a.is_empty(), "normalized distance of empty subsequence");
     let len = a.len() as f64;
     let raw_limit = if abandon_at.is_finite() {

@@ -69,6 +69,7 @@ impl HilbertCurve {
     /// Panics when either coordinate is `>= self.side()`.
     pub fn xy2d(&self, x: u32, y: u32) -> u64 {
         let side = self.side();
+        // gv-lint: allow(panic-reachability) documented `# Panics` precondition: out-of-range grid coordinates are a caller bug
         assert!(
             (x as u64) < side && (y as u64) < side,
             "cell ({x}, {y}) out of range"

@@ -148,6 +148,45 @@ impl Baseline {
         Ok(Baseline { entries })
     }
 
+    /// Renders the baseline back to `lint.toml` text with stale entries
+    /// removed (`gv lint --prune-baseline`).
+    ///
+    /// The leading comment block of `original` (everything above the
+    /// first entry or field) is kept verbatim; surviving entries are
+    /// emitted in deterministic `(path, rule, line)` order with their
+    /// reasons intact. Per-entry comments are not carried over — the
+    /// durable justification belongs in the `reason` field.
+    pub fn render_pruned(&self, original: &str) -> String {
+        let mut out = String::new();
+        for line in original.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                out.push_str(line);
+                out.push('\n');
+            } else {
+                break;
+            }
+        }
+        while out.ends_with("\n\n") {
+            out.pop();
+        }
+        let mut live: Vec<&BaselineEntry> = self.entries.iter().filter(|e| e.used.get()).collect();
+        live.sort_by(|a, b| (&a.path, a.rule, a.line).cmp(&(&b.path, b.rule, b.line)));
+        for e in live {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", e.rule.as_str()));
+            out.push_str(&format!("path = \"{}\"\n", e.path));
+            if let Some(l) = e.line {
+                out.push_str(&format!("line = {l}\n"));
+            }
+            out.push_str(&format!("reason = \"{}\"\n", e.reason));
+        }
+        out
+    }
+
     /// Stale entries (never matched a finding) as `lint-directive`
     /// violations against the baseline file itself.
     pub fn stale(&self, baseline_path: &str) -> Vec<LintViolation> {
@@ -165,6 +204,7 @@ impl Baseline {
                     e.path,
                     e.line.map(|l| format!(":{l}")).unwrap_or_default()
                 ),
+                chain: Vec::new(),
             })
             .collect()
     }
@@ -215,10 +255,49 @@ mod tests {
             line: 3,
             col: 1,
             message: String::new(),
+            chain: Vec::new(),
         };
         assert!(b.entries[0].matches(&v));
         v.line = 4;
         assert!(!b.entries[0].matches(&v));
+    }
+
+    #[test]
+    fn prune_round_trip_is_lossless_for_live_entries() {
+        let original = "# header line one\n# header line two\n\n\
+                        [[allow]]\nrule = \"no-nondeterminism\"\npath = \"z/b.rs\"\nline = 25\nreason = \"lookup only\"\n\n\
+                        [[allow]]\nrule = \"no-float-eq\"\npath = \"a/c.rs\"\nreason = \"sentinel\"\n";
+        let b = Baseline::parse(original).expect("parse");
+        for e in &b.entries {
+            e.used.set(true);
+        }
+        let pruned = b.render_pruned(original);
+        assert!(pruned.starts_with("# header line one\n# header line two\n"));
+        let reparsed = Baseline::parse(&pruned).expect("reparse");
+        // Same entries, now in deterministic (path, rule, line) order.
+        assert_eq!(reparsed.entries.len(), 2);
+        assert_eq!(reparsed.entries[0].path, "a/c.rs");
+        assert_eq!(reparsed.entries[0].rule, RuleId::NoFloatEq);
+        assert_eq!(reparsed.entries[0].reason, "sentinel");
+        assert_eq!(reparsed.entries[1].path, "z/b.rs");
+        assert_eq!(reparsed.entries[1].line, Some(25));
+        assert_eq!(reparsed.entries[1].reason, "lookup only");
+        // Idempotent: pruning again changes nothing.
+        for e in &reparsed.entries {
+            e.used.set(true);
+        }
+        assert_eq!(reparsed.render_pruned(&pruned), pruned);
+    }
+
+    #[test]
+    fn prune_drops_stale_entries() {
+        let original = "[[allow]]\nrule = \"no-float-eq\"\npath = \"a.rs\"\nreason = \"r\"\n\n\
+                        [[allow]]\nrule = \"no-float-eq\"\npath = \"b.rs\"\nreason = \"s\"\n";
+        let b = Baseline::parse(original).expect("parse");
+        b.entries[1].used.set(true);
+        let pruned = b.render_pruned(original);
+        assert!(!pruned.contains("a.rs"));
+        assert!(pruned.contains("b.rs"));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! [`LintReport`] with a per-rule tally.
 
 use crate::baseline::Baseline;
-use crate::rules::{all_rules, Rule};
+use crate::callgraph::WorkspaceModel;
+use crate::rules::{all_rules, workspace_rules, Rule};
 use crate::source::{FileKind, SourceFile};
 use crate::violation::{LintViolation, RuleId, ALL_RULES};
 use std::collections::BTreeMap;
@@ -113,6 +114,13 @@ pub fn classify(rel: &str) -> Option<(String, FileKind)> {
 /// I/O failures, a malformed baseline, or a `root` that is not the
 /// workspace root.
 pub fn run(root: &Path) -> Result<LintReport, EngineError> {
+    run_full(root).map(|(report, _)| report)
+}
+
+/// Like [`run`], but also returns the parsed baseline with its per-entry
+/// usage marks populated — `--prune-baseline` rewrites `lint.toml` from
+/// exactly this state, so what it keeps is what a lint run still needs.
+pub fn run_full(root: &Path) -> Result<(LintReport, Baseline), EngineError> {
     let manifest = root.join("Cargo.toml");
     let manifest_text = std::fs::read_to_string(&manifest).map_err(|source| EngineError::Io {
         path: manifest.clone(),
@@ -142,14 +150,9 @@ pub fn run(root: &Path) -> Result<LintReport, EngineError> {
     }
     files.sort();
 
-    let rules = all_rules();
-    let mut report = LintReport::default();
-    for rule in ALL_RULES {
-        report.tally.insert(rule.as_str(), 0);
-    }
-    report.tally.insert(RuleId::LintDirective.as_str(), 0);
-
-    let mut surviving = Vec::new();
+    // Pass 1: load and analyze every file up front — the workspace rules
+    // need all of them at once to build the call graph.
+    let mut sources: Vec<SourceFile> = Vec::new();
     for path in &files {
         let rel = relative_slash_path(root, path);
         let Some((crate_name, kind)) = classify(&rel) else {
@@ -159,9 +162,78 @@ pub fn run(root: &Path) -> Result<LintReport, EngineError> {
             path: path.clone(),
             source,
         })?;
-        let file = SourceFile::analyze(&rel, &crate_name, kind, text);
-        report.files_scanned += 1;
-        surviving.extend(check_file(&file, &rules, &baseline, &mut report));
+        sources.push(SourceFile::analyze(&rel, &crate_name, kind, text));
+    }
+
+    let mut report = LintReport {
+        files_scanned: sources.len(),
+        ..Default::default()
+    };
+    for rule in ALL_RULES {
+        report.tally.insert(rule.as_str(), 0);
+    }
+    report.tally.insert(RuleId::LintDirective.as_str(), 0);
+
+    // Per-file lexical rules, then the interprocedural pass 2.
+    let rules = all_rules();
+    let mut raw: Vec<LintViolation> = Vec::new();
+    for file in &sources {
+        for rule in &rules {
+            rule.check(file, &mut raw);
+        }
+    }
+    let model = WorkspaceModel::build(&sources);
+    for rule in workspace_rules() {
+        rule.check(&model, &baseline, &mut raw);
+    }
+
+    // One unified suppression pass. An inline allow suppresses a finding
+    // of its rule on its target line — or, for chained (interprocedural)
+    // findings, on any link of the chain. Baseline entries match the
+    // primary site. Allows that suppress nothing are themselves findings.
+    let file_index: BTreeMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel_path.as_str(), i))
+        .collect();
+    let mut allow_used: Vec<Vec<bool>> = sources
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+    let find_allow = |rule: RuleId, file: &str, line: u32| -> Option<(usize, usize)> {
+        let &fi = file_index.get(file)?;
+        sources[fi]
+            .allows
+            .iter()
+            .position(|a| a.rule == rule && a.target_line == line)
+            .map(|ai| (fi, ai))
+    };
+    let mut surviving = Vec::new();
+    for v in raw {
+        let hit = find_allow(v.rule, &v.file, v.line).or_else(|| {
+            v.chain
+                .iter()
+                .find_map(|link| find_allow(v.rule, &link.file, link.line))
+        });
+        if let Some((fi, ai)) = hit {
+            allow_used[fi][ai] = true;
+            report.inline_allowed += 1;
+            continue;
+        }
+        if let Some(entry) = baseline.entries.iter().find(|e| e.matches(&v)) {
+            entry.used.set(true);
+            report.baselined += 1;
+            continue;
+        }
+        surviving.push(v);
+    }
+    for (fi, file) in sources.iter().enumerate() {
+        for (ai, a) in file.allows.iter().enumerate() {
+            if !allow_used[fi][ai] {
+                surviving.push(unused_allow_violation(file, a));
+            }
+        }
+        surviving.extend(file.directive_errors.iter().cloned());
     }
 
     surviving.extend(baseline.stale(&relative_slash_path(root, &baseline_path)));
@@ -171,7 +243,23 @@ pub fn run(root: &Path) -> Result<LintReport, EngineError> {
         *report.tally.entry(v.rule.as_str()).or_insert(0) += 1;
     }
     report.violations = surviving;
-    Ok(report)
+    Ok((report, baseline))
+}
+
+/// The `lint-directive` finding for an allow that suppressed nothing.
+fn unused_allow_violation(file: &SourceFile, a: &crate::source::AllowDirective) -> LintViolation {
+    LintViolation {
+        rule: RuleId::LintDirective,
+        file: file.rel_path.clone(),
+        line: a.line,
+        col: 1,
+        message: format!(
+            "unused allow({}) — nothing on line {} fires this rule; remove it",
+            a.rule.as_str(),
+            a.target_line
+        ),
+        chain: Vec::new(),
+    }
 }
 
 /// Runs every rule over one analyzed file, applying its inline allows.
@@ -214,18 +302,7 @@ pub fn check_file(
     }
     for (idx, was_used) in used.iter().enumerate() {
         if !was_used {
-            let a = &file.allows[idx];
-            surviving.push(LintViolation {
-                rule: RuleId::LintDirective,
-                file: file.rel_path.clone(),
-                line: a.line,
-                col: 1,
-                message: format!(
-                    "unused allow({}) — nothing on line {} fires this rule; remove it",
-                    a.rule.as_str(),
-                    a.target_line
-                ),
-            });
+            surviving.push(unused_allow_violation(file, &file.allows[idx]));
         }
     }
     surviving.extend(file.directive_errors.iter().cloned());

@@ -1,0 +1,405 @@
+//! Pass 1 of the workspace analyzer: the item model.
+//!
+//! Parses one file's token stream (the existing [`crate::lexer`] output —
+//! still no `syn`) into `fn` items with spans, visibility, impl/trait
+//! ownership, and brace-matched bodies. The model is deliberately flat:
+//! it answers "which functions exist, who owns them, where are their
+//! bodies" — everything the call-graph builder needs and nothing more.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Item visibility, folded to the three levels the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub` at all.
+    Private,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    Crate,
+    /// Bare `pub`.
+    Public,
+}
+
+/// One `fn` item: a free function, an inherent or trait-impl method, or
+/// a trait declaration (with or without a default body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The impl self-type (for methods) or trait name (for trait-decl
+    /// methods); `None` for free functions.
+    pub owner: Option<String>,
+    /// For `impl Trait for Type` methods, the trait being implemented;
+    /// for trait-decl methods, the declaring trait.
+    pub trait_name: Option<String>,
+    /// Written visibility of the `fn` itself.
+    pub vis: Visibility,
+    /// Index of the containing file in the workspace model.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token-index range of the body, `{`..`}` inclusive; `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Declared in test-only code (or a test file).
+    pub is_test: bool,
+    /// The body mentions `HashMap`/`HashSet` (arms the unordered-
+    /// iteration entries of the effect table).
+    pub hash_context: bool,
+}
+
+impl FnItem {
+    /// Is this function callable from outside its crate — bare `pub`, or
+    /// a trait method (reachable through the trait's public surface)?
+    pub fn effectively_public(&self) -> bool {
+        self.vis == Visibility::Public || self.trait_name.is_some()
+    }
+
+    /// A display name: `Owner::name` for methods, `name` for free fns.
+    pub fn qualified_name(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// What kind of block a `{` opened — tracked so a `fn` knows its owner.
+#[derive(Debug, Clone)]
+enum Ctx {
+    /// An `impl` block: self type, plus the trait when `impl T for S`.
+    Impl {
+        /// The implementing type's last path segment.
+        self_ty: String,
+        /// The implemented trait's last path segment, if any.
+        trait_name: Option<String>,
+    },
+    /// A `trait Name { … }` block.
+    Trait(String),
+    /// Anything else (modules, fn bodies, expression blocks).
+    Other,
+}
+
+/// Rust keywords that can directly precede `(` without being calls, and
+/// idents that must never be treated as function names.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "async", "await", "union",
+];
+
+/// Collects every `fn` item in `file` (which has workspace index
+/// `file_idx`), in source order.
+pub fn collect_fns(file_idx: usize, file: &SourceFile) -> Vec<FnItem> {
+    let toks = file.tokens();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut pending: Option<Ctx> = None;
+    let mut out: Vec<FnItem> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let text = file.tok_text(i);
+        match text {
+            "{" => {
+                stack.push(pending.take().unwrap_or(Ctx::Other));
+                i += 1;
+            }
+            "}" => {
+                stack.pop();
+                i += 1;
+            }
+            "impl" => {
+                let (ctx, next) = parse_impl_header(file, i);
+                pending = Some(ctx);
+                i = next;
+            }
+            "trait" => {
+                let name = ident_after(file, i).unwrap_or_default();
+                pending = Some(Ctx::Trait(name));
+                i = skip_to_block_open(file, i + 1);
+            }
+            "fn" if is_fn_item(file, i) => {
+                let name = ident_after(file, i).unwrap_or_default();
+                let (owner, trait_name) = match stack.last() {
+                    Some(Ctx::Impl {
+                        self_ty,
+                        trait_name,
+                    }) => (Some(self_ty.clone()), trait_name.clone()),
+                    Some(Ctx::Trait(t)) => (Some(t.clone()), Some(t.clone())),
+                    _ => (None, None),
+                };
+                let (body_open, after_sig) = find_body_open(file, i + 1);
+                let body = body_open.map(|open| (open, match_brace(file, open)));
+                let decl_line = toks[i].line;
+                let hash_context = body.is_some_and(|(open, close)| {
+                    (open..=close.min(toks.len().saturating_sub(1)))
+                        .any(|k| matches!(file.tok_text(k), "HashMap" | "HashSet"))
+                });
+                out.push(FnItem {
+                    name,
+                    owner,
+                    trait_name,
+                    vis: visibility_before(file, i),
+                    file: file_idx,
+                    decl_line,
+                    fn_tok: i,
+                    body,
+                    is_test: file.is_test_line(decl_line),
+                    hash_context,
+                });
+                // Jump past the signature so `impl Trait` in argument or
+                // return position never opens a phantom impl block; the
+                // body `{` (if any) is consumed by the main loop with the
+                // pending fn-body context.
+                pending = body_open.map(|_| Ctx::Other);
+                i = body_open.unwrap_or(after_sig);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Is the `fn` at token `i` an item (followed by a name), as opposed to
+/// a function-pointer type `fn(…) -> …`?
+fn is_fn_item(file: &SourceFile, i: usize) -> bool {
+    file.tokens()
+        .get(i + 1)
+        .is_some_and(|t| t.kind == TokenKind::Ident)
+}
+
+/// The ident token directly after `i`, as text.
+fn ident_after(file: &SourceFile, i: usize) -> Option<String> {
+    let t = file.tokens().get(i + 1)?;
+    (t.kind == TokenKind::Ident).then(|| t.text(&file.text).to_string())
+}
+
+/// Parses an `impl` header starting at token `i` (the `impl` keyword):
+/// returns the context to attach to the block's `{` and the index of
+/// that `{` (so the caller can jump the header).
+fn parse_impl_header(file: &SourceFile, i: usize) -> (Ctx, usize) {
+    let toks = file.tokens();
+    let mut angle: i32 = 0;
+    let mut last_ident: Option<String> = None;
+    let mut trait_name: Option<String> = None;
+    let mut in_where = false;
+    let mut j = i + 1;
+    while j < toks.len() {
+        let text = file.tok_text(j);
+        match text {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "{" => {
+                let self_ty = last_ident.take().unwrap_or_default();
+                return (
+                    Ctx::Impl {
+                        self_ty,
+                        trait_name,
+                    },
+                    j,
+                );
+            }
+            ";" => break, // malformed / opaque — treat as no impl block
+            "for" if angle == 0 && !in_where => {
+                trait_name = last_ident.take();
+            }
+            "where" if angle == 0 => in_where = true,
+            _ if angle == 0
+                && !in_where
+                && toks[j].kind == TokenKind::Ident
+                && !KEYWORDS.contains(&text) =>
+            {
+                last_ident = Some(text.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (Ctx::Other, j)
+}
+
+/// Advances from `i` to the next `{` at paren depth 0 (trait headers:
+/// skips supertrait bounds and where clauses).
+fn skip_to_block_open(file: &SourceFile, i: usize) -> usize {
+    let toks = file.tokens();
+    let mut paren: i32 = 0;
+    let mut j = i;
+    while j < toks.len() {
+        match file.tok_text(j) {
+            "(" => paren += 1,
+            ")" => paren = (paren - 1).max(0),
+            "{" if paren == 0 => return j,
+            ";" if paren == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Finds the body `{` of a fn whose signature starts at `i` (just past
+/// the `fn` keyword): returns `(Some(open), open)` for fns with bodies,
+/// `(None, after_semi)` for bodyless trait declarations.
+fn find_body_open(file: &SourceFile, i: usize) -> (Option<usize>, usize) {
+    let toks = file.tokens();
+    let mut paren: i32 = 0;
+    let mut bracket: i32 = 0;
+    let mut j = i;
+    while j < toks.len() {
+        match file.tok_text(j) {
+            "(" => paren += 1,
+            ")" => paren = (paren - 1).max(0),
+            "[" => bracket += 1,
+            "]" => bracket = (bracket - 1).max(0),
+            "{" if paren == 0 && bracket == 0 => return (Some(j), j),
+            ";" if paren == 0 && bracket == 0 => return (None, j + 1),
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, j)
+}
+
+/// Index of the `}` matching the `{` at `open` (token indices); saturates
+/// to the last token on unbalanced input.
+fn match_brace(file: &SourceFile, open: usize) -> usize {
+    let toks = file.tokens();
+    let mut depth: i32 = 0;
+    let mut j = open;
+    while j < toks.len() {
+        match file.tok_text(j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scans backward from the `fn` keyword over qualifiers (`const`,
+/// `unsafe`, `async`, `extern "C"`) to the visibility, if any.
+fn visibility_before(file: &SourceFile, fn_tok: usize) -> Visibility {
+    let toks = file.tokens();
+    let mut k = fn_tok;
+    while k > 0 {
+        k -= 1;
+        let text = file.tok_text(k);
+        match text {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            _ if toks[k].kind == TokenKind::Str => continue, // extern "C"
+            "pub" => return Visibility::Public,
+            ")" => {
+                // Possibly `pub(crate)` / `pub(super)` / `pub(in …)`.
+                let mut m = k;
+                while m > 0 && file.tok_text(m) != "(" {
+                    m -= 1;
+                }
+                if m > 0 && file.tok_text(m - 1) == "pub" {
+                    return Visibility::Crate;
+                }
+                return Visibility::Private;
+            }
+            _ => return Visibility::Private,
+        }
+    }
+    Visibility::Private
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn analyze(src: &str) -> SourceFile {
+        SourceFile::analyze(
+            "crates/core/src/x.rs",
+            "core",
+            FileKind::LibSrc,
+            src.to_string(),
+        )
+    }
+
+    fn names(items: &[FnItem]) -> Vec<String> {
+        items.iter().map(FnItem::qualified_name).collect()
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let f = analyze("pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\npub const fn d() {}\n");
+        let items = collect_fns(0, &f);
+        assert_eq!(names(&items), vec!["a", "b", "c", "d"]);
+        assert_eq!(items[0].vis, Visibility::Public);
+        assert_eq!(items[1].vis, Visibility::Private);
+        assert_eq!(items[2].vis, Visibility::Crate);
+        assert_eq!(items[3].vis, Visibility::Public);
+    }
+
+    #[test]
+    fn inherent_and_trait_impl_methods() {
+        let src = "struct S;\nimpl S { pub fn m(&self) {} }\n\
+                   trait T { fn t(&self); fn d(&self) { self.t() } }\n\
+                   impl T for S { fn t(&self) {} }\n";
+        let items = collect_fns(0, &analyze(src));
+        assert_eq!(names(&items), vec!["S::m", "T::t", "T::d", "S::t"]);
+        assert_eq!(items[3].trait_name.as_deref(), Some("T"));
+        assert!(items[1].body.is_none(), "trait decl has no body");
+        assert!(items[2].body.is_some(), "default method has a body");
+        assert!(
+            items[3].effectively_public(),
+            "trait impls are public surface"
+        );
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let src = "impl<R: Recorder> StreamingDetector<R> { fn push(&mut self) {} }\n\
+                   impl fmt::Display for EngineError { fn fmt(&self) {} }\n";
+        let items = collect_fns(0, &analyze(src));
+        assert_eq!(
+            names(&items),
+            vec!["StreamingDetector::push", "EngineError::fmt"]
+        );
+        assert_eq!(items[1].trait_name.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn impl_trait_in_argument_position_is_not_a_block() {
+        let src = "pub fn take(x: impl Iterator<Item = u32>) -> impl Fn() -> u32 { move || 1 }\n\
+                   fn after() {}\n";
+        let items = collect_fns(0, &analyze(src));
+        assert_eq!(names(&items), vec!["take", "after"]);
+        assert!(items[1].owner.is_none());
+    }
+
+    #[test]
+    fn nested_fns_belong_to_no_impl() {
+        let src = "impl S { fn outer(&self) { fn inner() {} inner() } }\n";
+        let items = collect_fns(0, &analyze(src));
+        assert_eq!(names(&items), vec!["S::outer", "inner"]);
+        assert!(items[1].owner.is_none());
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let items = collect_fns(0, &analyze(src));
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test);
+    }
+
+    #[test]
+    fn hash_context_is_per_body() {
+        let src = "fn a() { let m: HashMap<u32, u32> = HashMap::new(); }\nfn b() {}\n";
+        let items = collect_fns(0, &analyze(src));
+        assert!(items[0].hash_context);
+        assert!(!items[1].hash_context);
+    }
+}

@@ -308,7 +308,9 @@ fn skip_prefixed_literal(bytes: &[u8], i: usize, out: &mut LexOutput) -> usize {
 }
 
 /// Consumes a double-quoted string body starting just *after* the opening
-/// quote; returns the offset one past the closing quote.
+/// quote; returns the offset one past the closing quote. The return is
+/// clamped to the buffer: an unterminated string whose last byte is a
+/// backslash must not yield a token `end` past EOF (slicing would panic).
 fn skip_string(bytes: &[u8], mut i: usize) -> usize {
     while i < bytes.len() {
         match bytes[i] {
@@ -317,7 +319,7 @@ fn skip_string(bytes: &[u8], mut i: usize) -> usize {
             _ => i += 1,
         }
     }
-    i
+    i.min(bytes.len())
 }
 
 /// Distinguishes a char literal (`'x'`, `'\n'`) from a lifetime (`'a`)
@@ -539,6 +541,86 @@ mod tests {
         let out = lex("/* outer /* inner */ still */ x");
         assert_eq!(out.comments.len(), 1);
         assert_eq!(out.tokens.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_with_trailing_backslash_stays_in_bounds() {
+        // The escape consumer jumps two bytes; on `"...\` at EOF that
+        // used to run the token end one past the buffer, and the first
+        // `Token::text` call on it panicked.
+        for src in ["\"abc\\", "let s = \"oops\\", "b\"x\\"] {
+            let out = lex(src);
+            for t in &out.tokens {
+                assert!(t.end <= src.len(), "{src:?}: end {} > len", t.end);
+                let _ = t.text(src); // must not panic
+            }
+            assert!(out
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Str && t.end == src.len()));
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char_edge_cases() {
+        // `'_` is the anonymous lifetime, not an unterminated char.
+        let got = kinds("fn f(x: &'_ str) {}");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'_"));
+        // A char literal right after a lifetime-heavy signature.
+        let got = kinds("fn g<'long>(c: char) { let q = 'q'; let l: &'long str; }");
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+        assert_eq!(
+            got.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        // A lone quote at EOF degrades without panicking.
+        let out = lex("'");
+        assert_eq!(out.tokens.len(), 1);
+        assert!(out.tokens[0].end <= 1);
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_fake_closers() {
+        // The body contains `"#` — only `"##` closes this literal.
+        let src = r###"let s = r##"fake "# closer stays inside"##; after"###;
+        let got = kinds(src);
+        let s = got
+            .iter()
+            .find(|(k, _)| *k == TokenKind::Str)
+            .expect("raw string token");
+        assert!(s.1.contains("fake \"# closer"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+        // Unterminated raw string consumes to EOF but stays in bounds.
+        let src = "r#\"never closed";
+        let out = lex(src);
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].end, src.len());
+    }
+
+    #[test]
+    fn byte_strings_hide_comment_and_quote_bytes() {
+        let src = r#"let a = b"// not a comment \" still string"; done"#;
+        let out = lex(src);
+        assert!(out.comments.is_empty());
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+        // `br#"…"#` raw byte strings take the raw path.
+        let src = r##"let raw = br#"bytes "quoted""#;"##;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("br#")));
     }
 
     #[test]

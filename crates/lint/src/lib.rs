@@ -36,14 +36,18 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
+pub mod effects;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 pub mod violation;
 
 pub use baseline::Baseline;
-pub use engine::{classify, find_workspace_root, run, EngineError, LintReport};
+pub use engine::{classify, find_workspace_root, run, run_full, EngineError, LintReport};
 pub use source::{FileKind, SourceFile};
-pub use violation::{LintViolation, RuleId, ALL_RULES};
+pub use violation::{ChainLink, LintViolation, RuleId, ALL_RULES};

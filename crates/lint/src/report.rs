@@ -59,6 +59,7 @@ mod tests {
             line: 12,
             col: 5,
             message: "boom".into(),
+            chain: Vec::new(),
         });
         r.tally.insert(RuleId::NoUnwrapInLib.as_str(), 1);
         let text = render(&r);

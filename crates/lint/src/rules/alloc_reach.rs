@@ -1,0 +1,118 @@
+//! `alloc-reachability` — allocation hiding behind a call in a hot region.
+//!
+//! `no-alloc-in-hot-path` sees only allocations written *textually*
+//! inside a `// gv-lint: hot` region. This is exactly how the PR 8
+//! per-push `Vec` growth survived review: the hot loop called a helper,
+//! the helper allocated, and the lexical rule saw a clean region. Pass 2
+//! closes the gap: the backward effect closure marks every function that
+//! can transitively allocate, and any call made inside a hot region that
+//! resolves to a marked function is reported, with a descent chain down
+//! to one concrete allocation site.
+//!
+//! Direct allocations inside the region stay `no-alloc-in-hot-path`'s
+//! finding (one rule per blind spot, no double report). An inline allow
+//! for `no-alloc-in-hot-path` on the call line carries over — the
+//! already-written amortization argument counts for both rules. Gated
+//! sites (behind a `detailed`/`armed`/`enabled` recorder check) are
+//! exempt as sources and as hot callers: detailed-mode telemetry buys
+//! its allocations knowingly, and the default path never takes the
+//! branch.
+
+use crate::baseline::Baseline;
+use crate::callgraph::{CallSite, WorkspaceModel};
+use crate::rules::{chain_links, describe_site, sanctioned_by, WorkspaceRule};
+use crate::violation::{LintViolation, RuleId};
+use std::collections::BTreeSet;
+
+/// See the module docs for the rule's semantics.
+pub struct AllocReachability;
+
+impl WorkspaceRule for AllocReachability {
+    fn id(&self) -> RuleId {
+        RuleId::AllocReachability
+    }
+
+    fn check(&self, m: &WorkspaceModel<'_>, baseline: &Baseline, out: &mut Vec<LintViolation>) {
+        let site_ok = |s: &CallSite| !s.test && !s.gated;
+        let mut direct = vec![false; m.fns.len()];
+        for s in &m.sites {
+            if !s.test && !s.gated && s.externs.alloc {
+                direct[s.caller] = true;
+            }
+        }
+        let allocy = m.closure(&direct, &site_ok);
+        for (sidx, s) in m.sites.iter().enumerate() {
+            if !s.hot || s.test || s.gated || s.externs.alloc {
+                continue; // direct allocs are no-alloc-in-hot-path's finding
+            }
+            if !s.callees.iter().any(|&c| allocy[c]) {
+                continue;
+            }
+            if sanctioned_by(m, baseline, s, &[RuleId::NoAllocInHotPath]) {
+                continue;
+            }
+            let chain = descend_to_alloc(m, sidx, &allocy);
+            let sink = chain
+                .last()
+                .map(|&last| describe_site(&m.sites[last]))
+                .unwrap_or_default();
+            out.push(LintViolation {
+                rule: self.id(),
+                file: m.files[s.file].rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "{} inside a hot region transitively allocates (reaches {})",
+                    describe_site(s),
+                    sink
+                ),
+                chain: chain_links(m, &chain),
+            });
+        }
+    }
+}
+
+/// Walks from the hot site down the alloc closure to one concrete
+/// allocation site, first-match at every level so the chain is
+/// deterministic. Cycles terminate via the visited set.
+fn descend_to_alloc(m: &WorkspaceModel<'_>, start: usize, allocy: &[bool]) -> Vec<usize> {
+    let mut chain = vec![start];
+    let mut visited = BTreeSet::new();
+    let mut cur = match m.sites[start].callees.iter().find(|&&c| allocy[c]) {
+        Some(&c) => c,
+        None => return chain,
+    };
+    loop {
+        if !visited.insert(cur) {
+            break;
+        }
+        if let Some(&direct) = m.fn_sites[cur]
+            .iter()
+            .find(|&&x| !m.sites[x].test && !m.sites[x].gated && m.sites[x].externs.alloc)
+        {
+            chain.push(direct);
+            break;
+        }
+        let mut next = None;
+        for &sidx in &m.fn_sites[cur] {
+            let s = &m.sites[sidx];
+            if s.test || s.gated {
+                continue;
+            }
+            if let Some(&c) = s
+                .callees
+                .iter()
+                .find(|&&c| allocy[c] && !visited.contains(&c))
+            {
+                chain.push(sidx);
+                next = Some(c);
+                break;
+            }
+        }
+        match next {
+            Some(c) => cur = c,
+            None => break,
+        }
+    }
+    chain
+}

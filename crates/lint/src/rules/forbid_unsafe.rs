@@ -62,6 +62,7 @@ impl Rule for ForbidUnsafe {
                 message: "crate root lacks `#![forbid(unsafe_code)]` (a safe-code \
                           exception must be named in DENY_OK_ROOTS)"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }

@@ -5,22 +5,30 @@
 //! push [`LintViolation`]s; allow-directives and baselines are applied by
 //! the engine afterwards, so rules never need to know about suppression.
 
+use crate::baseline::Baseline;
+use crate::callgraph::{CallKind, CallSite, WorkspaceModel};
 use crate::source::SourceFile;
-use crate::violation::LintViolation;
+use crate::violation::{ChainLink, LintViolation, RuleId};
 
+mod alloc_reach;
+mod determinism_taint;
 mod float_eq;
 mod forbid_unsafe;
 mod hot_alloc;
 mod nondeterminism;
+mod panic_reach;
 mod recorder_gate;
 mod schema_const;
 mod unwrap_in_lib;
 mod wall_clock;
 
+pub use alloc_reach::AllocReachability;
+pub use determinism_taint::DeterminismTaint;
 pub use float_eq::NoFloatEq;
 pub use forbid_unsafe::ForbidUnsafe;
 pub use hot_alloc::NoAllocInHotPath;
 pub use nondeterminism::NoNondeterminism;
+pub use panic_reach::PanicReachability;
 pub use recorder_gate::RecorderGate;
 pub use schema_const::JsonlSchemaConst;
 pub use unwrap_in_lib::NoUnwrapInLib;
@@ -34,6 +42,19 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, out: &mut Vec<LintViolation>);
 }
 
+/// An interprocedural rule: sees the whole workspace call graph (pass 2).
+///
+/// Workspace rules receive the baseline so that *existing* sanctions can
+/// carry over — a site whose panic is already argued infallible for
+/// `no-unwrap-in-lib` must not need a second, duplicate reason for
+/// `panic-reachability`.
+pub trait WorkspaceRule {
+    /// The rule's id (stable, kebab-case via `RuleId::as_str`).
+    fn id(&self) -> crate::violation::RuleId;
+    /// Checks the workspace model, pushing findings into `out`.
+    fn check(&self, model: &WorkspaceModel<'_>, baseline: &Baseline, out: &mut Vec<LintViolation>);
+}
+
 /// Every active rule, in report order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -45,6 +66,15 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(RecorderGate),
         Box::new(JsonlSchemaConst),
         Box::new(ForbidUnsafe),
+    ]
+}
+
+/// Every active interprocedural rule, in report order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(PanicReachability),
+        Box::new(AllocReachability),
+        Box::new(DeterminismTaint),
     ]
 }
 
@@ -95,6 +125,7 @@ pub(crate) fn violation_at(
         line: t.line,
         col: t.col,
         message,
+        chain: Vec::new(),
     }
 }
 
@@ -121,4 +152,65 @@ pub(crate) fn is_path_call(file: &SourceFile, i: usize, head: &str, name: &str) 
 pub(crate) fn is_macro(file: &SourceFile, i: usize, name: &str) -> bool {
     let tokens = file.tokens();
     file.tok_text(i) == name && i + 1 < tokens.len() && file.tok_text(i + 1) == "!"
+}
+
+/// How a call site reads in a diagnostic: `.unwrap()`, `panic!`,
+/// `` `[]` indexing ``, `helper()`.
+pub(crate) fn describe_site(s: &CallSite) -> String {
+    match s.kind {
+        CallKind::Index => "`[]` indexing".to_string(),
+        CallKind::Macro => format!("`{}!`", s.name),
+        CallKind::Method { .. } => format!("`.{}()`", s.name),
+        CallKind::Plain | CallKind::Path => format!("`{}()`", s.name),
+    }
+}
+
+/// Renders a site-index path as displayable chain links.
+pub(crate) fn chain_links(m: &WorkspaceModel<'_>, sites: &[usize]) -> Vec<ChainLink> {
+    sites
+        .iter()
+        .map(|&sidx| {
+            let s = &m.sites[sidx];
+            ChainLink {
+                file: m.files[s.file].rel_path.clone(),
+                line: s.line,
+                note: format!(
+                    "`{}` calls {}",
+                    m.fns[s.caller].qualified_name(),
+                    describe_site(s)
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Is the effect at site `s` already sanctioned for one of the given
+/// lexical rules — an inline allow on its line, or a baseline entry? The
+/// written infallibility argument carries over to the interprocedural
+/// rule instead of demanding a duplicate.
+pub(crate) fn sanctioned_by(
+    m: &WorkspaceModel<'_>,
+    baseline: &Baseline,
+    s: &CallSite,
+    rules: &[RuleId],
+) -> bool {
+    let file = &m.files[s.file];
+    if file
+        .allows
+        .iter()
+        .any(|a| rules.contains(&a.rule) && a.target_line == s.line)
+    {
+        return true;
+    }
+    rules.iter().any(|&rule| {
+        let probe = LintViolation {
+            rule,
+            file: file.rel_path.clone(),
+            line: s.line,
+            col: s.col,
+            message: String::new(),
+            chain: Vec::new(),
+        };
+        baseline.entries.iter().any(|e| e.matches(&probe))
+    })
 }

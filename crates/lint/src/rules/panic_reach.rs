@@ -1,0 +1,81 @@
+//! `panic-reachability` — interprocedural panic-path detection.
+//!
+//! `no-unwrap-in-lib` is lexical: it flags the `unwrap()` where it is
+//! written. This rule closes its blind spot: a `pub` library function
+//! that *calls a private helper* that unwraps is just as much a panic in
+//! a user's face, but the lexical rule never connects the two. Pass 2
+//! walks the call graph: every `pub` library fn reachable from a
+//! `Detector::detect` impl, `StreamingDetector::push`, or a CLI entry is
+//! an exposure point; any hard-panic site (`unwrap`/`expect`/`panic!`
+//! family) transitively reachable from one is reported *at the panic
+//! source*, with the full call chain attached so the diagnostic reads as
+//! a path, not a point.
+//!
+//! `[]`-indexing panics are modeled in the effect table but deliberately
+//! not reported here: bounds-checked slice indexing is the idiom of every
+//! numeric kernel in this workspace, and flagging each one would bury the
+//! real signal (the hard-panic sites) in hundreds of allows.
+//!
+//! Suppression: an inline allow for this rule on the source line *or any
+//! chain link* (engine-side), plus carry-over — a site already excused
+//! for `no-unwrap-in-lib` (inline or baseline) keeps that one written
+//! reason.
+
+use crate::baseline::Baseline;
+use crate::callgraph::{CallSite, WorkspaceModel};
+use crate::rules::{chain_links, describe_site, sanctioned_by, WorkspaceRule, LIB_CRATES};
+use crate::source::FileKind;
+use crate::violation::{LintViolation, RuleId};
+
+/// See the module docs for the rule's semantics.
+pub struct PanicReachability;
+
+impl WorkspaceRule for PanicReachability {
+    fn id(&self) -> RuleId {
+        RuleId::PanicReachability
+    }
+
+    fn check(&self, m: &WorkspaceModel<'_>, baseline: &Baseline, out: &mut Vec<LintViolation>) {
+        let site_ok = |s: &CallSite| !s.test;
+        let from_roots = m.reachable(&m.roots(), &site_ok);
+        // Exposure points: pub library fns on a detector/CLI path.
+        let entries: Vec<usize> = (0..m.fns.len())
+            .filter(|&i| {
+                let f = &m.fns[i];
+                from_roots[i]
+                    && !f.is_test
+                    && f.body.is_some()
+                    && f.effectively_public()
+                    && LIB_CRATES.contains(&m.crate_of(f))
+                    && m.files[f.file].kind == FileKind::LibSrc
+            })
+            .collect();
+        let exposed = m.reachable(&entries, &site_ok);
+        for (sidx, s) in m.sites.iter().enumerate() {
+            if !s.externs.panic || s.test || !exposed[s.caller] {
+                continue;
+            }
+            if sanctioned_by(m, baseline, s, &[RuleId::NoUnwrapInLib]) {
+                continue;
+            }
+            let Some(chain) = m.chain_to(&entries, sidx, &site_ok) else {
+                continue;
+            };
+            let entry = m.fns[m.sites[chain[0]].caller].qualified_name();
+            out.push(LintViolation {
+                rule: self.id(),
+                file: m.files[s.file].rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "{} can panic and is reachable from pub `{}` on a detector/CLI path \
+                     ({} call(s) deep)",
+                    describe_site(s),
+                    entry,
+                    chain.len()
+                ),
+                chain: chain_links(m, &chain),
+            });
+        }
+    }
+}

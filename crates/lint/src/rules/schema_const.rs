@@ -53,6 +53,7 @@ impl Rule for JsonlSchemaConst {
                     message: "hardcoded JSONL schema number — reference \
                               `gv_obs::SCHEMA_VERSION` instead"
                         .to_string(),
+                    chain: Vec::new(),
                 });
             } else if rest.starts_with('{') {
                 // Inline capture `{SCHEMA_VERSION}` satisfies the rule
@@ -74,6 +75,7 @@ impl Rule for JsonlSchemaConst {
                                   `SCHEMA_VERSION` — the version must come from \
                                   the single constant"
                             .to_string(),
+                        chain: Vec::new(),
                     });
                 }
             }

@@ -105,6 +105,16 @@ impl SourceFile {
         self.lex.tokens[i].text(&self.text)
     }
 
+    /// Source text of token `i`, or `""` when `i` is past the end — for
+    /// lookahead that must not panic at EOF.
+    pub fn tok_text_at(&self, i: usize) -> &str {
+        self.lex
+            .tokens
+            .get(i)
+            .map(|t| t.text(&self.text))
+            .unwrap_or("")
+    }
+
     /// Parses `gv-lint:` comment directives into hot ranges, allows, and
     /// directive errors.
     fn scan_directives(&mut self) {
@@ -128,11 +138,12 @@ impl SourceFile {
             let Some(rest) = stripped.strip_prefix("gv-lint:") else {
                 continue;
             };
-            let trailing = self
-                .lex
-                .tokens
-                .iter()
-                .any(|t| t.line == c.line && t.start < c.start);
+            // Trailing = some token precedes the comment on its own line.
+            // Tokens are ordered by start offset, so the candidate is
+            // exactly the last token before the comment — binary search,
+            // not a scan (directives are rechecked on every lint run).
+            let before = self.lex.tokens.partition_point(|t| t.start < c.start);
+            let trailing = before > 0 && self.lex.tokens[before - 1].line == c.line;
             raw.push(RawDirective {
                 line: c.line,
                 col: c.col,
@@ -223,13 +234,12 @@ impl SourceFile {
         }
     }
 
-    /// The line of the first token after byte offset `after`.
+    /// The line of the first token after byte offset `after`. Tokens are
+    /// ordered by start offset, so this is a binary search — O(log n)
+    /// per standalone directive instead of a front-to-back scan.
     fn next_code_line(&self, after: usize) -> Option<u32> {
-        self.lex
-            .tokens
-            .iter()
-            .find(|t| t.start > after)
-            .map(|t| t.line)
+        let idx = self.lex.tokens.partition_point(|t| t.start <= after);
+        self.lex.tokens.get(idx).map(|t| t.line)
     }
 
     fn directive_error(&self, line: u32, col: u32, message: String) -> LintViolation {
@@ -239,6 +249,7 @@ impl SourceFile {
             line,
             col,
             message,
+            chain: Vec::new(),
         }
     }
 }

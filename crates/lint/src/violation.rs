@@ -24,6 +24,15 @@ pub enum RuleId {
     JsonlSchemaConst,
     /// Every crate root carries `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// Interprocedural: a detector/CLI-reachable `pub` library fn can
+    /// transitively panic.
+    PanicReachability,
+    /// Interprocedural: a call made inside a `gv-lint: hot` region can
+    /// transitively allocate.
+    AllocReachability,
+    /// Interprocedural: a nondeterministic value flows into a function on
+    /// a result-producing path.
+    DeterminismTaint,
     /// Meta: malformed/unused `gv-lint:` directives and stale baselines.
     LintDirective,
 }
@@ -39,6 +48,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::RecorderGate,
     RuleId::JsonlSchemaConst,
     RuleId::ForbidUnsafe,
+    RuleId::PanicReachability,
+    RuleId::AllocReachability,
+    RuleId::DeterminismTaint,
 ];
 
 impl RuleId {
@@ -53,7 +65,42 @@ impl RuleId {
             RuleId::RecorderGate => "recorder-gate",
             RuleId::JsonlSchemaConst => "jsonl-schema-const",
             RuleId::ForbidUnsafe => "forbid-unsafe",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::AllocReachability => "alloc-reachability",
+            RuleId::DeterminismTaint => "determinism-taint",
             RuleId::LintDirective => "lint-directive",
+        }
+    }
+
+    /// One-line rule summary (SARIF `shortDescription`, docs).
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::NoUnwrapInLib => "No unwrap()/expect()/panic! in non-test library code",
+            RuleId::NoWallClockOutsideObs => {
+                "Instant/SystemTime only in the obs crate and bench binaries"
+            }
+            RuleId::NoAllocInHotPath => "No allocation inside gv-lint: hot regions",
+            RuleId::NoFloatEq => "No ==/!= against float operands in library code",
+            RuleId::NoNondeterminism => "No HashMap/HashSet/ambient RNG in result-producing crates",
+            RuleId::RecorderGate => {
+                "Detailed-only recorder emits must sit behind the detailed() gate"
+            }
+            RuleId::JsonlSchemaConst => {
+                "JSONL writers must reference SCHEMA_VERSION, never a literal"
+            }
+            RuleId::ForbidUnsafe => "Every crate root carries #![forbid(unsafe_code)]",
+            RuleId::PanicReachability => {
+                "No transitive panic path from pub library fns on detector/CLI paths"
+            }
+            RuleId::AllocReachability => {
+                "No transitive allocation behind calls made in hot regions"
+            }
+            RuleId::DeterminismTaint => {
+                "No nondeterministic value flow into result-producing paths"
+            }
+            RuleId::LintDirective => {
+                "gv-lint directives and baseline entries must be well-formed and live"
+            }
         }
     }
 
@@ -73,6 +120,17 @@ impl fmt::Display for RuleId {
     }
 }
 
+/// One hop of an interprocedural call chain attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Workspace-relative file path of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// What happens at this hop (`mid calls leaf`, `leaf calls unwrap`).
+    pub note: String,
+}
+
 /// One finding: a rule violated at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintViolation {
@@ -86,6 +144,9 @@ pub struct LintViolation {
     pub col: u32,
     /// Human-readable explanation of the finding.
     pub message: String,
+    /// Interprocedural call chain (entry → … → source); empty for the
+    /// per-file lexical rules, so their rendering is unchanged.
+    pub chain: Vec<ChainLink>,
 }
 
 impl fmt::Display for LintViolation {
@@ -94,7 +155,11 @@ impl fmt::Display for LintViolation {
             f,
             "{}:{}:{}: [{}] {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        for link in &self.chain {
+            write!(f, "\n    via {}:{}: {}", link.file, link.line, link.note)?;
+        }
+        Ok(())
     }
 }
 
@@ -119,6 +184,7 @@ mod tests {
             line: 7,
             col: 3,
             message: "call to unwrap()".into(),
+            chain: Vec::new(),
         };
         assert_eq!(
             v.to_string(),

@@ -1,0 +1,22 @@
+//! Bad: the hot region is textually allocation-free — it only makes a
+//! method call — but the callee pushes into a `Vec`. This is exactly the
+//! shape `no-alloc-in-hot-path` cannot see.
+
+#![forbid(unsafe_code)]
+
+pub struct StreamingDetector {
+    buf: Vec<f64>,
+}
+
+impl StreamingDetector {
+    pub fn push(&mut self, x: f64) {
+        // gv-lint: hot
+        self.record(x);
+        // gv-lint: end-hot
+    }
+
+    /// Lexically innocent helper hiding the per-push growth.
+    fn record(&mut self, x: f64) {
+        self.buf.push(x);
+    }
+}

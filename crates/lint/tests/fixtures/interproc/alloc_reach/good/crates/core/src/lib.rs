@@ -1,0 +1,24 @@
+//! Good: the same hot region calling the same-named helper, but the
+//! helper writes into preallocated state — nothing on the call chain
+//! allocates.
+
+#![forbid(unsafe_code)]
+
+pub struct StreamingDetector {
+    last: f64,
+    count: u64,
+}
+
+impl StreamingDetector {
+    pub fn push(&mut self, x: f64) {
+        // gv-lint: hot
+        self.record(x);
+        // gv-lint: end-hot
+    }
+
+    /// Fixed-size state only; no growth on any push.
+    fn record(&mut self, x: f64) {
+        self.last = x;
+        self.count += 1;
+    }
+}

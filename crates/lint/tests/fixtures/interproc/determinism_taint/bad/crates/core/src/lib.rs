@@ -1,0 +1,34 @@
+//! Bad: a nondeterministic value (the current thread's handle) is minted
+//! in a private helper and flows through a return into the ranking that
+//! the detector's results depend on. No lexical rule sees it:
+//! `no-wall-clock-outside-obs` only matches `Instant`/`SystemTime`, and
+//! `no-nondeterminism` only matches hash-container idents.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// The detector trait the engine roots on.
+pub trait Detector {
+    fn detect(&self, data: &[f64]) -> Vec<usize>;
+}
+
+pub struct GrammarDetector;
+
+impl Detector for GrammarDetector {
+    fn detect(&self, data: &[f64]) -> Vec<usize> {
+        rank(data)
+    }
+}
+
+/// Result-producing entry point.
+pub fn rank(data: &[f64]) -> Vec<usize> {
+    let bias = tie_break();
+    vec![bias % data.len().max(1)]
+}
+
+/// Mints the taint: which thread runs this changes the result.
+fn tie_break() -> usize {
+    let handle = thread::current();
+    format!("{:?}", handle.id()).len()
+}

@@ -126,11 +126,13 @@ impl Grammar {
     /// side references an unknown rule (these indicate an induction bug,
     /// not a user error).
     pub fn from_rules(rules: Vec<GrammarRule>, input_len: usize) -> Self {
+        // gv-lint: allow(panic-reachability) validation is this constructor's contract: a ruleless grammar is an induction bug, not user error
         assert!(!rules.is_empty(), "a grammar needs at least R0");
         // gv-lint: allow(no-nondeterminism) populates the lookup-only index above
         let mut index = HashMap::with_capacity(rules.len());
         for (i, r) in rules.iter().enumerate() {
             let dup = index.insert(r.id, i);
+            // gv-lint: allow(panic-reachability) validation is this constructor's contract: a duplicate rule id is an induction bug, not user error
             assert!(dup.is_none(), "duplicate rule id {}", r.id);
         }
         let mut g = Self {
@@ -400,6 +402,7 @@ impl Grammar {
                 if state[ri] == State::Black {
                     continue;
                 }
+                // gv-lint: allow(panic-reachability) cycle detection is validation's purpose: a cyclic grammar is an induction bug, not user error
                 assert!(
                     state[ri] == State::White,
                     "cycle through rule {}",
@@ -417,6 +420,7 @@ impl Grammar {
                         if state[ci] == State::White {
                             stack.push((ci, false));
                         } else {
+                            // gv-lint: allow(panic-reachability) cycle detection is validation's purpose: a cyclic grammar is an induction bug, not user error
                             assert!(
                                 state[ci] == State::Black,
                                 "cycle through rule {}",

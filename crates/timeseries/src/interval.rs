@@ -21,6 +21,7 @@ impl Interval {
     /// # Panics
     /// Panics when `end < start`.
     pub fn new(start: usize, end: usize) -> Self {
+        // gv-lint: allow(panic-reachability) documented `# Panics` precondition: an inverted interval is a caller bug
         assert!(end >= start, "interval end {end} < start {start}");
         Self { start, end }
     }

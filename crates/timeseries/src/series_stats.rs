@@ -95,6 +95,7 @@ impl SeriesStats {
     /// # Panics
     /// Panics when `end > len()` or `start > end`.
     pub fn mean_std(&self, start: usize, end: usize) -> (f64, f64) {
+        // gv-lint: allow(panic-reachability) documented `# Panics` precondition: an inverted window is a caller bug
         assert!(start <= end, "SeriesStats::mean_std: start > end");
         if start == end {
             return (f64::NAN, f64::NAN);
@@ -149,6 +150,7 @@ impl SeriesStats {
             "SeriesStats::znorm_window_into: series length mismatch"
         );
         if start == end {
+            // gv-lint: allow(panic-reachability) documented `# Panics` precondition: a mismatched output buffer is a caller bug
             assert!(out.is_empty(), "znorm_window_into: buffer length mismatch");
             return;
         }
